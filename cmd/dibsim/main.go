@@ -1,0 +1,227 @@
+// Command dibsim runs a single configurable DIBS simulation and prints the
+// paper's metrics, exposing every Table 1/2 knob as a flag.
+//
+// Examples:
+//
+//	dibsim                                   # paper defaults, 1s of traffic
+//	dibsim -dibs=false                       # plain DCTCP baseline
+//	dibsim -qps 2000 -degree 100             # intense incast
+//	dibsim -buffer 25 -policy load-aware     # small buffers, §7 policy
+//	dibsim -topo jellyfish -duration 500ms   # another topology
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dibs"
+)
+
+func main() {
+	var (
+		topo     = flag.String("topo", "fattree", "topology: fattree|click|linear|jellyfish|hyperx")
+		k        = flag.Int("k", 8, "fat-tree K")
+		oversub  = flag.Int("oversub", 1, "uplink capacity divisor (1:f^2 oversubscription)")
+		buffer   = flag.Int("buffer", 100, "per-port buffer (packets)")
+		bufMode  = flag.String("bufmode", "droptail", "buffer mode: droptail|infinite|shared|pfabric")
+		markAt   = flag.Int("markat", 20, "DCTCP ECN marking threshold (packets, 0=off)")
+		useDIBS  = flag.Bool("dibs", true, "enable DIBS detouring")
+		policy   = flag.String("policy", "random", "detour policy: random|load-aware|flow-based|probabilistic")
+		tp       = flag.String("transport", "dctcp", "transport: dctcp|newreno|pfabric")
+		ttl      = flag.Int("ttl", 255, "initial packet TTL")
+		dupack   = flag.Int("dupack", 0, "dup-ack threshold (0 disables fast retransmit)")
+		qps      = flag.Float64("qps", 300, "query arrival rate (0 disables incast)")
+		degree   = flag.Int("degree", 40, "incast degree")
+		respKB   = flag.Int64("response", 20, "query response size (KB)")
+		bgIAms   = flag.Float64("bg", 120, "per-host background inter-arrival (ms, 0 disables)")
+		duration = flag.Duration("duration", time.Second, "traffic generation window")
+		drain    = flag.Duration("drain", 300*time.Millisecond, "extra drain time")
+		seed     = flag.Int64("seed", 1, "RNG seed")
+		fairN    = flag.Int("longflows", 0, "long-lived flows per host pair (fairness mode)")
+		pfc      = flag.Bool("pfc", false, "enable Ethernet flow control (implies -bufmode shared, -dibs=false)")
+		spray    = flag.Bool("spray", false, "packet-level ECMP instead of flow-level")
+		delack   = flag.Bool("delack", false, "DCTCP delayed-ACK ECN-echo state machine")
+		events   = flag.String("events", "", "write a JSONL event trace to this file")
+		confIn   = flag.String("config", "", "load a JSON config file (flags apply on top where set)")
+		confOut  = flag.String("dumpconfig", "", "write the effective JSON config to this file and exit")
+	)
+	flag.Parse()
+
+	cfg := dibs.DefaultConfig()
+	if *confIn != "" {
+		// Pure config mode: the JSON file fully describes the run and the
+		// tuning flags are ignored (only -events/-dumpconfig still apply).
+		data, err := os.ReadFile(*confIn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reading config: %v\n", err)
+			os.Exit(1)
+		}
+		if err := json.Unmarshal(data, &cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "parsing config: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		applyFlags(&cfg, flags{
+			topo: *topo, k: *k, oversub: *oversub, buffer: *buffer,
+			bufMode: *bufMode, markAt: *markAt, useDIBS: *useDIBS,
+			policy: *policy, tp: *tp, ttl: *ttl, dupack: *dupack,
+			qps: *qps, degree: *degree, respKB: *respKB, bgIAms: *bgIAms,
+			duration: *duration, drain: *drain, seed: *seed, fairN: *fairN,
+			pfc: *pfc, spray: *spray, delack: *delack,
+		})
+	}
+	if *events != "" {
+		cfg.TraceEvents = true
+	}
+
+	runIt(cfg, *confOut, *events)
+}
+
+// flags bundles the command-line tuning knobs.
+type flags struct {
+	topo, bufMode, policy, tp   string
+	k, oversub, buffer, markAt  int
+	ttl, dupack, degree, fairN  int
+	respKB                      int64
+	qps, bgIAms                 float64
+	duration, drain             time.Duration
+	seed                        int64
+	useDIBS, pfc, spray, delack bool
+}
+
+func applyFlags(cfg *dibs.Config, f flags) {
+	switch f.topo {
+	case "fattree":
+		cfg.Topo = dibs.TopoFatTree
+	case "click":
+		cfg.Topo = dibs.TopoClick
+	case "linear":
+		cfg.Topo = dibs.TopoLinear
+		cfg.LinearSwitches, cfg.LinearHostsPer = 8, 4
+	case "jellyfish":
+		cfg.Topo = dibs.TopoJellyfish
+		cfg.JellyfishSwitches, cfg.JellyfishDegree, cfg.JellyfishHostsPer = 16, 4, 4
+	case "hyperx":
+		cfg.Topo = dibs.TopoHyperX
+		cfg.HyperXX, cfg.HyperXY, cfg.HyperXHostsPer = 4, 4, 4
+	default:
+		fmt.Fprintf(os.Stderr, "unknown topology %q\n", f.topo)
+		os.Exit(2)
+	}
+	cfg.FatTreeK = f.k
+	cfg.Oversub = f.oversub
+	cfg.BufferPkts = f.buffer
+	cfg.MarkAtPkts = f.markAt
+	switch f.bufMode {
+	case "droptail":
+		cfg.Buffer = dibs.BufferDropTail
+	case "infinite":
+		cfg.Buffer = dibs.BufferInfinite
+	case "shared":
+		cfg.Buffer = dibs.BufferShared
+	case "pfabric":
+		cfg.Buffer = dibs.BufferPFabric
+	default:
+		fmt.Fprintf(os.Stderr, "unknown buffer mode %q\n", f.bufMode)
+		os.Exit(2)
+	}
+	cfg.DIBS = f.useDIBS
+	switch f.policy {
+	case "random":
+		cfg.Policy = dibs.PolicyRandom
+	case "load-aware":
+		cfg.Policy = dibs.PolicyLoadAware
+	case "flow-based":
+		cfg.Policy = dibs.PolicyFlowBased
+	case "probabilistic":
+		cfg.Policy = dibs.PolicyProbabilistic
+	default:
+		fmt.Fprintf(os.Stderr, "unknown policy %q\n", f.policy)
+		os.Exit(2)
+	}
+	switch f.tp {
+	case "dctcp":
+		cfg.Transport = dibs.DCTCP
+	case "newreno":
+		cfg.Transport = dibs.NewReno
+	case "pfabric":
+		cfg.Transport = dibs.PFabric
+	default:
+		fmt.Fprintf(os.Stderr, "unknown transport %q\n", f.tp)
+		os.Exit(2)
+	}
+	cfg.TTL = f.ttl
+	cfg.DupAckThresh = f.dupack
+	cfg.Seed = f.seed
+	cfg.Duration = dibs.Duration(f.duration)
+	cfg.Drain = dibs.Duration(f.drain)
+	if f.qps > 0 {
+		cfg.Query = &dibs.QueryConfig{QPS: f.qps, Degree: f.degree, ResponseBytes: f.respKB * 1000}
+	} else {
+		cfg.Query = nil
+	}
+	if f.bgIAms > 0 {
+		cfg.BGInterarrival = dibs.Time(f.bgIAms * float64(dibs.Millisecond))
+	} else {
+		cfg.BGInterarrival = 0
+	}
+	if f.fairN > 0 {
+		cfg.Long = &dibs.LongFlows{PerPair: f.fairN}
+	}
+	if f.pfc {
+		cfg.PFC = true
+		cfg.DIBS = false
+		cfg.Buffer = dibs.BufferShared
+	}
+	cfg.PacketSpray = f.spray
+	cfg.DelayedAck = f.delack
+}
+
+func runIt(cfg dibs.Config, confOut, events string) {
+	if confOut != "" {
+		data, err := json.MarshalIndent(cfg, "", "  ")
+		if err == nil {
+			err = os.WriteFile(confOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing config: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", confOut)
+		return
+	}
+
+	start := time.Now()
+	net := dibs.Build(cfg)
+	res := net.Run()
+	if events != "" {
+		f, err := os.Create(events)
+		if err == nil {
+			err = dibs.WriteEventTrace(f, net)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing events: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[event trace: %s — %s]\n", events, net.Trace.Summary())
+	}
+	fmt.Println(res)
+	fmt.Printf("\nQCT   p50 %8.2f ms   p99 %8.2f ms   max %8.2f ms  (%d/%d queries)\n",
+		res.QCT50, res.QCT99, res.QCTMax, res.QueriesDone, res.QueriesStarted)
+	fmt.Printf("FCT   p50 %8.2f ms   p99 %8.2f ms  (short background flows, %d bg flows done)\n",
+		res.ShortFCT50, res.ShortFCT99, res.BGFlowsDone)
+	fmt.Printf("loss  %d drops (%d overflow)   detours %d (%.1f%% of delivered)\n",
+		res.TotalDrops, res.Drops[0], res.Detours, 100*res.DetouredFrac)
+	fmt.Printf("recovery  %d timeouts, %d retransmits, %d fast recoveries\n",
+		res.Timeouts, res.Retransmits, res.FastRecovers)
+	if len(res.LongGoodputs) > 0 {
+		fmt.Printf("fairness  Jain %.3f over %d long flows\n", res.JainIndex, len(res.LongGoodputs))
+	}
+	fmt.Fprintf(os.Stderr, "[wall %.1fs]\n", time.Since(start).Seconds())
+}

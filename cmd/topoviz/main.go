@@ -1,0 +1,110 @@
+// Command topoviz inspects the simulator's topologies: node inventory,
+// link structure, FIB/ECMP properties, and detour-relevant statistics
+// (switch degree, host-port counts, path diversity).
+//
+// Examples:
+//
+//	topoviz -topo fattree -k 8
+//	topoviz -topo jellyfish -dot > jf.dot   # Graphviz output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dibs/internal/packet"
+	"dibs/internal/stats"
+	"dibs/internal/topology"
+)
+
+func main() {
+	var (
+		kind = flag.String("topo", "fattree", "fattree|click|linear|jellyfish|hyperx")
+		k    = flag.Int("k", 4, "fat-tree K")
+		dot  = flag.Bool("dot", false, "emit Graphviz dot instead of a summary")
+		seed = flag.Int64("seed", 1, "seed (jellyfish)")
+	)
+	flag.Parse()
+
+	var topo *topology.Topology
+	spec := topology.DefaultLink
+	switch *kind {
+	case "fattree":
+		topo = topology.FatTree(*k, spec, 1)
+	case "click":
+		topo = topology.ClickTestbed(spec)
+	case "linear":
+		topo = topology.Linear(8, 4, spec)
+	case "jellyfish":
+		topo = topology.Jellyfish(16, 4, 4, spec, *seed)
+	case "hyperx":
+		topo = topology.HyperX(4, 4, 4, spec)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown topology %q\n", *kind)
+		os.Exit(2)
+	}
+
+	if *dot {
+		emitDot(topo)
+		return
+	}
+
+	fmt.Printf("topology %s: %d nodes (%d hosts, %d switches)\n",
+		topo.Name, topo.NumNodes(), len(topo.Hosts()), len(topo.Switches()))
+	fmt.Printf("diameter: %d links\n", topo.Diameter())
+
+	var degree, hostPorts, detourable stats.Sample
+	for _, sw := range topo.Switches() {
+		degree.Add(float64(len(topo.Ports(sw))))
+		hp, dt := 0, 0
+		for pi := range topo.Ports(sw) {
+			if topo.IsHostPort(sw, pi) {
+				hp++
+			} else {
+				dt++
+			}
+		}
+		hostPorts.Add(float64(hp))
+		detourable.Add(float64(dt))
+	}
+	fmt.Printf("switch ports: mean %.1f (min %.0f max %.0f)\n", degree.Mean(), degree.Min(), degree.Max())
+	fmt.Printf("detour-eligible ports per switch: mean %.1f (min %.0f max %.0f)\n",
+		detourable.Mean(), detourable.Min(), detourable.Max())
+
+	// Path diversity: ECMP fan-out at the first switch of each host pair.
+	var ecmp stats.Sample
+	hosts := topo.Hosts()
+	for i, src := range hosts {
+		edge := topo.Ports(src)[0].Peer
+		for j, dst := range hosts {
+			if i == j {
+				continue
+			}
+			ecmp.Add(float64(len(topo.NextHops(edge, dst))))
+		}
+	}
+	fmt.Printf("ECMP width at first switch: mean %.2f, p99 %.0f\n", ecmp.Mean(), ecmp.Percentile(99))
+}
+
+func emitDot(topo *topology.Topology) {
+	fmt.Println("graph topo {")
+	fmt.Println("  layout=neato; overlap=false;")
+	for id := packet.NodeID(0); int(id) < topo.NumNodes(); id++ {
+		n := topo.Node(id)
+		shape := "box"
+		if n.Kind == topology.Host {
+			shape = "ellipse"
+		}
+		fmt.Printf("  %q [shape=%s];\n", n.Name, shape)
+	}
+	for id := packet.NodeID(0); int(id) < topo.NumNodes(); id++ {
+		for pi, p := range topo.Ports(id) {
+			// Emit each undirected link once.
+			if p.Peer > id || (p.Peer == id && p.PeerPort > pi) {
+				fmt.Printf("  %q -- %q;\n", topo.Node(id).Name, topo.Node(p.Peer).Name)
+			}
+		}
+	}
+	fmt.Println("}")
+}

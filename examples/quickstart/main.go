@@ -1,0 +1,47 @@
+// Quickstart: run the paper's default workload (K=8 fat-tree, DCTCP, 300
+// queries/s of 40-way incast plus background traffic) once with plain
+// DCTCP and once with DIBS, and compare the headline metrics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"dibs"
+)
+
+func main() {
+	fmt.Println("DIBS quickstart: 200ms of the paper's default workload, both arms")
+	fmt.Println()
+
+	run := func(useDIBS bool) *dibs.Results {
+		cfg := dibs.DefaultConfig()
+		cfg.DIBS = useDIBS
+		cfg.Duration = 200 * dibs.Millisecond
+		cfg.Drain = 300 * dibs.Millisecond
+		cfg.Seed = 42
+		return dibs.Run(cfg)
+	}
+
+	dctcp := run(false)
+	withDIBS := run(true)
+
+	fmt.Printf("%-28s %15s %15s\n", "", "DCTCP", "DCTCP+DIBS")
+	row := func(name string, a, b float64) {
+		fmt.Printf("%-28s %15.2f %15.2f\n", name, a, b)
+	}
+	row("QCT p50 (ms)", dctcp.QCT50, withDIBS.QCT50)
+	row("QCT p99 (ms)", dctcp.QCT99, withDIBS.QCT99)
+	row("short-flow FCT p99 (ms)", dctcp.ShortFCT99, withDIBS.ShortFCT99)
+	row("packet drops", float64(dctcp.TotalDrops), float64(withDIBS.TotalDrops))
+	row("detours", float64(dctcp.Detours), float64(withDIBS.Detours))
+	row("timeouts", float64(dctcp.Timeouts), float64(withDIBS.Timeouts))
+	fmt.Println()
+
+	if withDIBS.TotalDrops == 0 && dctcp.TotalDrops > 0 {
+		fmt.Println("DIBS absorbed every incast burst in neighboring switch buffers: zero loss,")
+		fmt.Printf("and the 99th-percentile query completion time dropped from %.1fms to %.1fms.\n",
+			dctcp.QCT99, withDIBS.QCT99)
+	}
+}

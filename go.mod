@@ -1,0 +1,3 @@
+module dibs
+
+go 1.22

@@ -1,0 +1,215 @@
+// Package eventq implements the discrete-event core of the simulator: a
+// virtual clock with nanosecond resolution and a binary-heap scheduler.
+//
+// All simulator components (links, switches, transport timers, workload
+// generators) advance exclusively by scheduling callbacks on a single
+// Scheduler. Events scheduled for the same instant run in FIFO order of
+// scheduling, which keeps runs deterministic for a fixed seed.
+package eventq
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation. It is deliberately a distinct type from time.Duration to keep
+// wall-clock time out of the simulator.
+type Time int64
+
+// Common durations, expressed in Time units (nanoseconds).
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable virtual time; used as "never".
+const MaxTime Time = math.MaxInt64
+
+// Duration converts a time.Duration into simulator Time units.
+func Duration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Seconds returns t expressed in seconds as a float.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis returns t expressed in milliseconds as a float.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// Micros returns t expressed in microseconds as a float.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// String formats the time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", t.Millis())
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", t.Micros())
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// event is a scheduled callback. seq breaks ties between events at the same
+// virtual instant so that scheduling order is execution order.
+type event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// Timer is a handle to a scheduled event that can be canceled or queried.
+type Timer struct{ ev *event }
+
+// Cancel prevents the timer's callback from running. Canceling an already
+// fired or already canceled timer is a no-op. Cancel reports whether the
+// callback was still pending.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.canceled || t.ev.index == -1 {
+		return false
+	}
+	t.ev.canceled = true
+	return true
+}
+
+// Pending reports whether the timer's callback has neither fired nor been
+// canceled.
+func (t *Timer) Pending() bool {
+	return t != nil && t.ev != nil && !t.ev.canceled && t.ev.index != -1
+}
+
+// When returns the virtual time the timer is scheduled for.
+func (t *Timer) When() Time { return t.ev.at }
+
+// eventHeap orders events by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Scheduler is a single-threaded discrete-event scheduler. It is not safe
+// for concurrent use; the simulator is deliberately single-threaded so runs
+// are reproducible.
+type Scheduler struct {
+	now      Time
+	seq      uint64
+	heap     eventHeap
+	executed uint64
+	running  bool
+	stopped  bool
+}
+
+// NewScheduler returns a scheduler with the clock at zero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Len returns the number of pending events (including canceled ones not yet
+// discarded).
+func (s *Scheduler) Len() int { return len(s.heap) }
+
+// Executed returns the number of callbacks run so far.
+func (s *Scheduler) Executed() uint64 { return s.executed }
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the past
+// panics: that is always a simulator bug, not a recoverable condition.
+func (s *Scheduler) At(at Time, fn func()) *Timer {
+	if at < s.now {
+		panic(fmt.Sprintf("eventq: scheduling at %v before now %v", at, s.now))
+	}
+	ev := &event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.heap, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d after the current time.
+func (s *Scheduler) After(d Time, fn func()) *Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("eventq: negative delay %d", d))
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Stop halts Run/RunUntil after the currently executing event returns.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// step pops and runs the next event. Returns false when the queue is empty
+// or the next event is beyond limit.
+func (s *Scheduler) step(limit Time) bool {
+	for len(s.heap) > 0 {
+		next := s.heap[0]
+		if next.at > limit {
+			return false
+		}
+		heap.Pop(&s.heap)
+		if next.canceled {
+			continue
+		}
+		s.now = next.at
+		s.executed++
+		next.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (s *Scheduler) Run() {
+	s.run(MaxTime)
+}
+
+// RunUntil executes events with timestamps <= limit, then advances the clock
+// to limit. Events beyond limit remain pending.
+func (s *Scheduler) RunUntil(limit Time) {
+	s.run(limit)
+	if s.now < limit {
+		s.now = limit
+	}
+}
+
+func (s *Scheduler) run(limit Time) {
+	if s.running {
+		panic("eventq: Run re-entered")
+	}
+	s.running = true
+	s.stopped = false
+	defer func() { s.running = false }()
+	for !s.stopped && s.step(limit) {
+	}
+}

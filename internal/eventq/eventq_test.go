@@ -1,0 +1,271 @@
+package eventq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{5 * Nanosecond, "5ns"},
+		{3 * Microsecond, "3.000us"},
+		{Time(2500) * Microsecond, "2.500ms"},
+		{Time(1500) * Millisecond, "1.500s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestDurationConversion(t *testing.T) {
+	if Duration(time.Millisecond) != Millisecond {
+		t.Fatalf("Duration(1ms) = %d", Duration(time.Millisecond))
+	}
+	if got := (250 * Microsecond).Millis(); got != 0.25 {
+		t.Fatalf("Millis = %v", got)
+	}
+	if got := (2 * Millisecond).Micros(); got != 2000 {
+		t.Fatalf("Micros = %v", got)
+	}
+	if got := (500 * Millisecond).Seconds(); got != 0.5 {
+		t.Fatalf("Seconds = %v", got)
+	}
+}
+
+func TestSchedulerOrdering(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	s.At(30, func() { order = append(order, 3) })
+	s.At(10, func() { order = append(order, 1) })
+	s.At(20, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != 30 {
+		t.Fatalf("Now = %v", s.Now())
+	}
+	if s.Executed() != 3 {
+		t.Fatalf("Executed = %d", s.Executed())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(100, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestAfterAndNesting(t *testing.T) {
+	s := NewScheduler()
+	var fired []Time
+	s.After(10, func() {
+		fired = append(fired, s.Now())
+		s.After(5, func() {
+			fired = append(fired, s.Now())
+		})
+	})
+	s.Run()
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 15 {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := NewScheduler()
+	ran := 0
+	s.At(10, func() { ran++ })
+	s.At(20, func() { ran++ })
+	s.At(30, func() { ran++ })
+	s.RunUntil(20)
+	if ran != 2 {
+		t.Fatalf("ran = %d, want 2", ran)
+	}
+	if s.Now() != 20 {
+		t.Fatalf("Now = %v, want 20", s.Now())
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	s.RunUntil(100)
+	if ran != 3 || s.Now() != 100 {
+		t.Fatalf("ran=%d now=%v", ran, s.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := NewScheduler()
+	ran := false
+	tm := s.At(10, func() { ran = true })
+	if !tm.Pending() {
+		t.Fatal("timer should be pending")
+	}
+	if !tm.Cancel() {
+		t.Fatal("Cancel should report true for pending timer")
+	}
+	if tm.Cancel() {
+		t.Fatal("second Cancel should report false")
+	}
+	if tm.Pending() {
+		t.Fatal("canceled timer should not be pending")
+	}
+	s.Run()
+	if ran {
+		t.Fatal("canceled event ran")
+	}
+}
+
+func TestCancelAfterFire(t *testing.T) {
+	s := NewScheduler()
+	tm := s.At(10, func() {})
+	s.Run()
+	if tm.Pending() {
+		t.Fatal("fired timer still pending")
+	}
+	if tm.Cancel() {
+		t.Fatal("Cancel after fire should report false")
+	}
+}
+
+func TestTimerWhen(t *testing.T) {
+	s := NewScheduler()
+	tm := s.At(42, func() {})
+	if tm.When() != 42 {
+		t.Fatalf("When = %v", tm.When())
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := NewScheduler()
+	ran := 0
+	s.At(10, func() { ran++; s.Stop() })
+	s.At(20, func() { ran++ })
+	s.Run()
+	if ran != 1 {
+		t.Fatalf("ran = %d, want 1 (Stop should halt)", ran)
+	}
+	// Resuming picks up where it left off.
+	s.Run()
+	if ran != 2 {
+		t.Fatalf("ran = %d after resume, want 2", ran)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := NewScheduler()
+	s.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past should panic")
+			}
+		}()
+		s.At(5, func() {})
+	})
+	s.Run()
+}
+
+func TestNegativeAfterPanics(t *testing.T) {
+	s := NewScheduler()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative After should panic")
+		}
+	}()
+	s.After(-1, func() {})
+}
+
+// Property: regardless of insertion order, events fire in nondecreasing time
+// order and the clock matches each event's scheduled time.
+func TestQuickTimeOrdering(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := NewScheduler()
+		var fired []Time
+		for _, d := range delays {
+			at := Time(d)
+			s.At(at, func() {
+				if s.Now() != at {
+					t.Errorf("clock %v != scheduled %v", s.Now(), at)
+				}
+				fired = append(fired, s.Now())
+			})
+		}
+		s.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: canceling a random subset fires exactly the complement.
+func TestQuickCancelSubset(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewScheduler()
+		fired := make(map[int]bool)
+		timers := make([]*Timer, n)
+		for i := 0; i < int(n); i++ {
+			i := i
+			timers[i] = s.At(Time(rng.Intn(1000)), func() { fired[i] = true })
+		}
+		canceled := make(map[int]bool)
+		for i := range timers {
+			if rng.Intn(2) == 0 {
+				timers[i].Cancel()
+				canceled[i] = true
+			}
+		}
+		s.Run()
+		for i := 0; i < int(n); i++ {
+			if fired[i] == canceled[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSchedulerChurn(b *testing.B) {
+	s := NewScheduler()
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	var chain func()
+	remaining := b.N
+	chain = func() {
+		if remaining <= 0 {
+			return
+		}
+		remaining--
+		s.After(Time(rng.Intn(100)+1), chain)
+	}
+	// Keep ~64 events in flight.
+	for i := 0; i < 64 && remaining > 0; i++ {
+		remaining--
+		s.After(Time(rng.Intn(100)+1), chain)
+	}
+	b.ResetTimer()
+	s.Run()
+}

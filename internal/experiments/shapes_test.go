@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// Shape-regression tests: each asserts the qualitative relationship the
+// paper's figure turns on, at a reduced scale, so refactors that silently
+// break a reproduction are caught by `go test`. These complement the smoke
+// tests (which only check that experiments run).
+
+func col(tb *Table, name string) int {
+	for i, c := range tb.Columns {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestShapeFig06DIBSNearOptimal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape tests are slow")
+	}
+	tables := mustRun(t, "fig06", Opts{Seed: 11, Scale: 0.3})
+	qct := tables[0]
+	byName := map[string][]float64{}
+	for _, r := range qct.Rows {
+		byName[r.X] = r.Vals
+	}
+	p99 := col(qct, "QCT-p99(ms)")
+	inf, det, dt := byName["InfiniteBuf"][p99], byName["Detour"][p99], byName["Droptail100"][p99]
+	if !(det < inf*1.3) {
+		t.Fatalf("DIBS p99 %.2f not near infinite-buffer %.2f", det, inf)
+	}
+	if !(dt > det*1.5) {
+		t.Fatalf("droptail p99 %.2f not clearly worse than DIBS %.2f", dt, det)
+	}
+}
+
+func TestShapeFig09DIBSWinsAtEveryRate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape tests are slow")
+	}
+	tables := mustRun(t, "fig09", Opts{Seed: 11, Scale: 0.15})
+	main := tables[0]
+	cd, cb := col(main, "QCT99-dctcp(ms)"), col(main, "QCT99-dibs(ms)")
+	for _, r := range main.Rows {
+		if math.IsNaN(r.Vals[cd]) || math.IsNaN(r.Vals[cb]) {
+			continue
+		}
+		if r.Vals[cb] >= r.Vals[cd] {
+			t.Fatalf("qps %s: DIBS QCT99 %.2f !< DCTCP %.2f", r.X, r.Vals[cb], r.Vals[cd])
+		}
+	}
+	// Detour accounting: query traffic dominates detours; no drops.
+	det := tables[1]
+	qs, dr := col(det, "query-share-of-detours"), col(det, "drops-dibs")
+	for _, r := range det.Rows {
+		if r.Vals[qs] < 0.8 {
+			t.Fatalf("qps %s: query share of detours %.2f < 0.8", r.X, r.Vals[qs])
+		}
+		if r.Vals[dr] != 0 {
+			t.Fatalf("qps %s: DIBS dropped %v packets", r.X, r.Vals[dr])
+		}
+	}
+}
+
+func TestShapeSprayDoesNotHelpIncast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape tests are slow")
+	}
+	tables := mustRun(t, "spray", Opts{Seed: 11, Scale: 0.15})
+	tb := tables[0]
+	de, ds, db := col(tb, "drops-ecmp"), col(tb, "drops-spray"), col(tb, "drops-dibs")
+	for _, r := range tb.Rows {
+		if r.Vals[de] == 0 {
+			continue // workload too light at this scale
+		}
+		// Spraying stays within 2x of flow ECMP's drops; DIBS is at least
+		// 10x below both.
+		if r.Vals[ds] < r.Vals[de]/2 {
+			t.Fatalf("degree %s: spraying eliminated drops (%v vs %v)", r.X, r.Vals[ds], r.Vals[de])
+		}
+		if r.Vals[db] > r.Vals[de]/10 {
+			t.Fatalf("degree %s: DIBS drops %v not << ECMP drops %v", r.X, r.Vals[db], r.Vals[de])
+		}
+	}
+}
+
+func TestShapeFig13TTLDropsDecrease(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape tests are slow")
+	}
+	tables := mustRun(t, "fig13", Opts{Seed: 11, Scale: 0.1})
+	tb := tables[0]
+	td := col(tb, "ttl-drops-dibs")
+	first := tb.Rows[0].Vals[td]             // TTL 12
+	last := tb.Rows[len(tb.Rows)-1].Vals[td] // TTL 255
+	if last != 0 {
+		t.Fatalf("TTL 255 should never expire (drops %v)", last)
+	}
+	if first == 0 {
+		t.Skip("no TTL pressure at this scale")
+	}
+}
+
+func mustRun(t *testing.T, id string, o Opts) []*Table {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %q missing", id)
+	}
+	tables := e.Run(o)
+	if len(tables) == 0 {
+		t.Fatalf("%s produced no tables", id)
+	}
+	return tables
+}

@@ -1,0 +1,83 @@
+// Package host models end hosts: a NIC output port plus the demultiplexing
+// of arriving packets to transport endpoints. Hosts never forward transit
+// traffic (the reason DIBS must not detour to host ports).
+package host
+
+import (
+	"dibs/internal/packet"
+	"dibs/internal/switching"
+	"dibs/internal/transport"
+)
+
+// Host is one end host.
+type Host struct {
+	ID packet.NodeID
+	// NIC is the host's single output port toward its edge switch.
+	NIC *switching.OutPort
+
+	senders   map[packet.FlowID]*transport.Sender
+	receivers map[packet.FlowID]*transport.Receiver
+
+	// OnDeliver, when set, observes every packet arriving at this host
+	// (metrics). Called before demultiplexing.
+	OnDeliver func(p *packet.Packet)
+	// TracePacket, when set, is consulted per emitted data packet; true
+	// attaches an empty path trace that switches will fill (Figure 1).
+	TracePacket func(p *packet.Packet) bool
+
+	// NICDrops counts packets refused by the NIC queue (should stay 0
+	// with a reasonably sized host queue).
+	NICDrops uint64
+}
+
+// New creates a host. The NIC must be wired by the network builder.
+func New(id packet.NodeID) *Host {
+	return &Host{
+		ID:        id,
+		senders:   make(map[packet.FlowID]*transport.Sender),
+		receivers: make(map[packet.FlowID]*transport.Receiver),
+	}
+}
+
+// Send enqueues a locally generated packet on the NIC.
+func (h *Host) Send(p *packet.Packet) {
+	if p.Kind == packet.Data && h.TracePacket != nil && h.TracePacket(p) {
+		p.Trace = make([]packet.TraceHop, 0, 16)
+	}
+	if r := h.NIC.Enqueue(p); !r.Accepted {
+		h.NICDrops++
+	}
+}
+
+// Receive implements switching.Handler: demultiplex to the flow endpoint.
+func (h *Host) Receive(p *packet.Packet, port int) {
+	if h.OnDeliver != nil {
+		h.OnDeliver(p)
+	}
+	switch p.Kind {
+	case packet.Data:
+		if r := h.receivers[p.Flow]; r != nil {
+			r.OnData(p)
+		}
+	case packet.Ack:
+		if s := h.senders[p.Flow]; s != nil {
+			s.OnAck(p)
+		}
+	}
+}
+
+// AddSender registers the sending endpoint of a flow originating here.
+func (h *Host) AddSender(s *transport.Sender) { h.senders[s.Flow] = s }
+
+// AddReceiver registers the receiving endpoint of a flow terminating here.
+func (h *Host) AddReceiver(r *transport.Receiver) { h.receivers[r.Flow] = r }
+
+// RemoveSender unregisters a completed flow's sender.
+func (h *Host) RemoveSender(flow packet.FlowID) { delete(h.senders, flow) }
+
+// RemoveReceiver unregisters a completed flow's receiver.
+func (h *Host) RemoveReceiver(flow packet.FlowID) { delete(h.receivers, flow) }
+
+// ActiveFlows returns the number of registered endpoints (senders +
+// receivers), for tests and leak checks.
+func (h *Host) ActiveFlows() int { return len(h.senders) + len(h.receivers) }

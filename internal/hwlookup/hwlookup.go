@@ -1,0 +1,65 @@
+// Package hwlookup mirrors the paper's NetFPGA implementation of DIBS
+// (§5.1): the Output Port Lookup stage is extended with a bitmap of
+// available output ports (queues not full). A bitwise AND of that bitmap
+// with the FIB's desired-ports bitmap decides forward-vs-detour in a single
+// combinational step, so DIBS adds no processing delay.
+//
+// The functions here are pure and allocation-free, matching the hardware
+// data path; the package benchmark demonstrates that a software rendition
+// of the same logic runs in a few nanoseconds — far faster than the 672 ns
+// serialization time of a 64-byte packet at 1 Gbps ("line rate").
+package hwlookup
+
+import "math/bits"
+
+// Decision is the output of the lookup stage.
+type Decision struct {
+	// Port is the chosen output port, or -1 when the packet must drop.
+	Port int
+	// Detoured is true when Port is not one of the FIB's desired ports.
+	Detoured bool
+}
+
+// Decide picks an output port given the FIB's desired-ports bitmap, the
+// bitmap of ports whose queues can accept a packet, and the bitmap of ports
+// that face end hosts. rnd supplies the randomness for the detour pick (in
+// hardware, an LFSR).
+//
+// Priority order, as in the NetFPGA module:
+//  1. a desired port that is available → forward normally;
+//  2. otherwise any available switch-facing port → detour;
+//  3. otherwise drop.
+func Decide(desired, available, hostPorts uint64, rnd uint64) Decision {
+	if ok := desired & available; ok != 0 {
+		return Decision{Port: pickBit(ok, rnd)}
+	}
+	elig := available &^ hostPorts &^ desired
+	if elig == 0 {
+		return Decision{Port: -1}
+	}
+	return Decision{Port: pickBit(elig, rnd), Detoured: true}
+}
+
+// pickBit returns the index of the (rnd mod popcount)-th set bit of mask.
+// mask must be non-zero.
+func pickBit(mask uint64, rnd uint64) int {
+	n := uint64(bits.OnesCount64(mask))
+	k := int(rnd % n)
+	for i := 0; i < k; i++ {
+		mask &= mask - 1 // clear lowest set bit
+	}
+	return bits.TrailingZeros64(mask)
+}
+
+// AvailableBitmap assembles the available-ports bitmap from a queue-full
+// predicate, mirroring the per-port full signals wired into the NetFPGA
+// lookup module.
+func AvailableBitmap(numPorts int, full func(port int) bool) uint64 {
+	var m uint64
+	for i := 0; i < numPorts; i++ {
+		if !full(i) {
+			m |= 1 << uint(i)
+		}
+	}
+	return m
+}

@@ -1,0 +1,260 @@
+// Package metrics collects the measurements the paper's evaluation reports:
+// query completion times (QCT), flow completion times (FCT) by traffic
+// class, drop/detour/mark counters, detour timelines (Figure 2a), buffer
+// occupancy snapshots (Figures 2b and 5), per-link utilization windows
+// (Figure 4), and the most-detoured packet's path (Figure 1).
+package metrics
+
+import (
+	"dibs/internal/eventq"
+	"dibs/internal/packet"
+	"dibs/internal/stats"
+	"dibs/internal/switching"
+)
+
+// FlowClass labels the paper's traffic classes.
+type FlowClass uint8
+
+const (
+	// ClassQuery is partition-aggregate (incast) response traffic.
+	ClassQuery FlowClass = iota
+	// ClassBackground is the DCTCP-paper background workload.
+	ClassBackground
+	// ClassLong is a long-lived flow (fairness experiment, §5.6).
+	ClassLong
+	numClasses
+)
+
+func (c FlowClass) String() string {
+	switch c {
+	case ClassQuery:
+		return "query"
+	case ClassBackground:
+		return "background"
+	case ClassLong:
+		return "long"
+	default:
+		return "unknown"
+	}
+}
+
+// FlowInfo is the collector's record of one flow.
+type FlowInfo struct {
+	ID      packet.FlowID
+	Class   FlowClass
+	Bytes   int64
+	QueryID int // -1 for non-query flows
+	Start   eventq.Time
+	End     eventq.Time // 0 while in flight
+}
+
+// Done reports whether the flow completed.
+func (f *FlowInfo) Done() bool { return f.End > 0 }
+
+// FCT returns the flow completion time.
+func (f *FlowInfo) FCT() eventq.Time { return f.End - f.Start }
+
+// DetourEvent is one detour decision, for the Figure 2a timeline.
+type DetourEvent struct {
+	T      eventq.Time
+	Switch packet.NodeID
+}
+
+type queryState struct {
+	remaining int
+	start     eventq.Time
+	end       eventq.Time
+}
+
+// Collector aggregates all measurements of one simulation run. Wire its
+// Hooks into every switch and call the flow-lifecycle methods from the
+// workload/host layer.
+type Collector struct {
+	sched *eventq.Scheduler
+
+	flows   map[packet.FlowID]*FlowInfo
+	queries map[int]*queryState
+
+	// QCTs holds completed query completion times in milliseconds.
+	QCTs stats.Sample
+	// ShortBGFCTs holds FCTs (ms) of short background flows (1-10KB),
+	// the paper's collateral-damage metric.
+	ShortBGFCTs stats.Sample
+	// BGFCTs holds FCTs (ms) of all completed background flows.
+	BGFCTs stats.Sample
+
+	// Drops counts packet drops by reason, across all switches.
+	Drops [switching.NumDropReasons]uint64
+	// DropsByClass counts dropped data packets per traffic class.
+	DropsByClass [numClasses]uint64
+	// Detours counts detour decisions; DetoursByClass splits them per
+	// class (§5.4.1: >90% of detoured packets belong to query traffic).
+	Detours        uint64
+	DetoursByClass [numClasses]uint64
+
+	// RecordTimeline enables the DetourTimeline (Figure 2a).
+	RecordTimeline bool
+	DetourTimeline []DetourEvent
+
+	// MaxDetours tracks the worst detour count over delivered data
+	// packets, and BestTrace the path of that packet when tracing was on
+	// (Figure 1).
+	MaxDetours int
+	BestTrace  []packet.TraceHop
+	// DetourCounts samples the per-delivered-packet detour count.
+	DetourCounts stats.Sample
+
+	// DeliveredData counts data packets delivered to hosts.
+	DeliveredData uint64
+}
+
+// NewCollector creates a collector bound to the scheduler's clock.
+func NewCollector(sched *eventq.Scheduler) *Collector {
+	return &Collector{
+		sched:   sched,
+		flows:   make(map[packet.FlowID]*FlowInfo),
+		queries: make(map[int]*queryState),
+	}
+}
+
+// Hooks returns switch hooks that feed this collector.
+func (c *Collector) Hooks() *switching.Hooks {
+	return &switching.Hooks{
+		OnDrop:   c.onDrop,
+		OnDetour: c.onDetour,
+	}
+}
+
+func (c *Collector) onDrop(node packet.NodeID, p *packet.Packet, reason switching.DropReason) {
+	c.Drops[reason]++
+	if p.Kind == packet.Data {
+		if f, ok := c.flows[p.Flow]; ok {
+			c.DropsByClass[f.Class]++
+		}
+	}
+}
+
+func (c *Collector) onDetour(node packet.NodeID, p *packet.Packet, desired, chosen int) {
+	c.Detours++
+	if f, ok := c.flows[p.Flow]; ok {
+		c.DetoursByClass[f.Class]++
+	}
+	if c.RecordTimeline {
+		c.DetourTimeline = append(c.DetourTimeline, DetourEvent{T: c.sched.Now(), Switch: node})
+	}
+}
+
+// OnDeliver records a data packet reaching its destination host. The host
+// layer calls this for every data packet.
+func (c *Collector) OnDeliver(p *packet.Packet) {
+	if p.Kind != packet.Data {
+		return
+	}
+	c.DeliveredData++
+	if p.Detours > 0 {
+		c.DetourCounts.Add(float64(p.Detours))
+	}
+	if p.Detours > c.MaxDetours {
+		c.MaxDetours = p.Detours
+		if p.Trace != nil {
+			c.BestTrace = append(c.BestTrace[:0], p.Trace...)
+		}
+	}
+}
+
+// FlowStarted registers a new flow. queryID is -1 for non-query flows.
+func (c *Collector) FlowStarted(id packet.FlowID, class FlowClass, bytes int64, queryID int) {
+	c.flows[id] = &FlowInfo{
+		ID:      id,
+		Class:   class,
+		Bytes:   bytes,
+		QueryID: queryID,
+		Start:   c.sched.Now(),
+	}
+}
+
+// FlowDone marks a flow complete, updating FCT samples and any parent
+// query.
+func (c *Collector) FlowDone(id packet.FlowID) {
+	f, ok := c.flows[id]
+	if !ok || f.Done() {
+		return
+	}
+	f.End = c.sched.Now()
+	fctMs := f.FCT().Millis()
+	switch f.Class {
+	case ClassBackground:
+		c.BGFCTs.Add(fctMs)
+		if f.Bytes >= 1_000 && f.Bytes <= 10_000 {
+			c.ShortBGFCTs.Add(fctMs)
+		}
+	}
+	if f.QueryID >= 0 {
+		q := c.queries[f.QueryID]
+		if q != nil && q.end == 0 {
+			q.remaining--
+			if q.remaining == 0 {
+				q.end = c.sched.Now()
+				c.QCTs.Add((q.end - q.start).Millis())
+			}
+		}
+	}
+}
+
+// QueryStarted registers a query of nFlows responses.
+func (c *Collector) QueryStarted(queryID, nFlows int) {
+	c.queries[queryID] = &queryState{remaining: nFlows, start: c.sched.Now()}
+}
+
+// Flow returns the record for id (nil when unknown).
+func (c *Collector) Flow(id packet.FlowID) *FlowInfo { return c.flows[id] }
+
+// EachFlow visits every registered flow (order unspecified).
+func (c *Collector) EachFlow(fn func(*FlowInfo)) {
+	for _, f := range c.flows {
+		fn(f)
+	}
+}
+
+// CompletedQueries returns how many queries have fully completed.
+func (c *Collector) CompletedQueries() int {
+	n := 0
+	for _, q := range c.queries {
+		if q.end > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// StartedQueries returns how many queries were registered.
+func (c *Collector) StartedQueries() int { return len(c.queries) }
+
+// CompletedFlows returns the number of completed flows of a class.
+func (c *Collector) CompletedFlows(class FlowClass) int {
+	n := 0
+	for _, f := range c.flows {
+		if f.Class == class && f.Done() {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalDrops sums drops over all reasons.
+func (c *Collector) TotalDrops() uint64 {
+	var t uint64
+	for _, d := range c.Drops {
+		t += d
+	}
+	return t
+}
+
+// DetouredFraction returns detour decisions / delivered data packets, an
+// upper-bound analogue of the paper's "fraction of packets detoured".
+func (c *Collector) DetouredFraction() float64 {
+	if c.DeliveredData == 0 {
+		return 0
+	}
+	return float64(c.Detours) / float64(c.DeliveredData)
+}

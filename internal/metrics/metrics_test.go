@@ -1,0 +1,260 @@
+package metrics
+
+import (
+	"testing"
+
+	"dibs/internal/eventq"
+	"dibs/internal/packet"
+	"dibs/internal/queue"
+	"dibs/internal/switching"
+)
+
+func TestFlowLifecycleAndFCT(t *testing.T) {
+	sched := eventq.NewScheduler()
+	c := NewCollector(sched)
+	c.FlowStarted(1, ClassBackground, 5_000, -1)
+	sched.At(3*eventq.Millisecond, func() { c.FlowDone(1) })
+	sched.Run()
+	if c.CompletedFlows(ClassBackground) != 1 {
+		t.Fatal("flow not completed")
+	}
+	if c.BGFCTs.N() != 1 || c.BGFCTs.Max() != 3 {
+		t.Fatalf("BG FCT = %v", c.BGFCTs.Values())
+	}
+	// 5KB is in the short-flow band.
+	if c.ShortBGFCTs.N() != 1 {
+		t.Fatal("short-flow FCT not recorded")
+	}
+	f := c.Flow(1)
+	if f == nil || !f.Done() || f.FCT() != 3*eventq.Millisecond {
+		t.Fatalf("flow info: %+v", f)
+	}
+}
+
+func TestShortFlowBand(t *testing.T) {
+	sched := eventq.NewScheduler()
+	c := NewCollector(sched)
+	c.FlowStarted(1, ClassBackground, 500, -1)     // below band
+	c.FlowStarted(2, ClassBackground, 100_000, -1) // above band
+	c.FlowStarted(3, ClassBackground, 10_000, -1)  // inside band
+	sched.At(1, func() { c.FlowDone(1); c.FlowDone(2); c.FlowDone(3) })
+	sched.Run()
+	if c.BGFCTs.N() != 3 {
+		t.Fatalf("all BG FCTs = %d", c.BGFCTs.N())
+	}
+	if c.ShortBGFCTs.N() != 1 {
+		t.Fatalf("short FCTs = %d, want 1", c.ShortBGFCTs.N())
+	}
+}
+
+func TestQueryCompletion(t *testing.T) {
+	sched := eventq.NewScheduler()
+	c := NewCollector(sched)
+	c.QueryStarted(0, 3)
+	for i := packet.FlowID(1); i <= 3; i++ {
+		c.FlowStarted(i, ClassQuery, 20_000, 0)
+	}
+	sched.At(2*eventq.Millisecond, func() { c.FlowDone(1) })
+	sched.At(5*eventq.Millisecond, func() { c.FlowDone(2) })
+	sched.At(9*eventq.Millisecond, func() { c.FlowDone(3) })
+	sched.Run()
+	if c.CompletedQueries() != 1 || c.StartedQueries() != 1 {
+		t.Fatal("query not completed")
+	}
+	// QCT is gated by the last response: 9ms.
+	if c.QCTs.N() != 1 || c.QCTs.Max() != 9 {
+		t.Fatalf("QCT = %v", c.QCTs.Values())
+	}
+}
+
+func TestQueryIncompleteWithoutAllFlows(t *testing.T) {
+	sched := eventq.NewScheduler()
+	c := NewCollector(sched)
+	c.QueryStarted(7, 2)
+	c.FlowStarted(1, ClassQuery, 1000, 7)
+	c.FlowStarted(2, ClassQuery, 1000, 7)
+	sched.At(1, func() { c.FlowDone(1) })
+	sched.Run()
+	if c.CompletedQueries() != 0 {
+		t.Fatal("query should be incomplete")
+	}
+	if c.QCTs.N() != 0 {
+		t.Fatal("no QCT should be recorded")
+	}
+}
+
+func TestFlowDoneIdempotent(t *testing.T) {
+	sched := eventq.NewScheduler()
+	c := NewCollector(sched)
+	c.FlowStarted(1, ClassBackground, 2000, -1)
+	sched.At(1, func() { c.FlowDone(1); c.FlowDone(1) })
+	sched.Run()
+	if c.BGFCTs.N() != 1 {
+		t.Fatalf("FCT recorded %d times", c.BGFCTs.N())
+	}
+	// Unknown flow is a no-op.
+	c.FlowDone(99)
+}
+
+func TestHookCounters(t *testing.T) {
+	sched := eventq.NewScheduler()
+	c := NewCollector(sched)
+	c.RecordTimeline = true
+	c.FlowStarted(1, ClassQuery, 1000, -1)
+	c.FlowStarted(2, ClassBackground, 1000, -1)
+	h := c.Hooks()
+	dp := &packet.Packet{Kind: packet.Data, Flow: 1}
+	bp := &packet.Packet{Kind: packet.Data, Flow: 2}
+	h.OnDrop(5, dp, switching.DropOverflow)
+	h.OnDrop(5, bp, switching.DropOverflow)
+	h.OnDetour(5, dp, 0, 1)
+	h.OnDetour(6, dp, 0, 2)
+	if c.TotalDrops() != 2 || c.Drops[switching.DropOverflow] != 2 {
+		t.Fatal("drop counters")
+	}
+	if c.DropsByClass[ClassQuery] != 1 || c.DropsByClass[ClassBackground] != 1 {
+		t.Fatal("per-class drops")
+	}
+	if c.Detours != 2 || c.DetoursByClass[ClassQuery] != 2 {
+		t.Fatal("detour counters")
+	}
+	if len(c.DetourTimeline) != 2 || c.DetourTimeline[1].Switch != 6 {
+		t.Fatalf("timeline = %v", c.DetourTimeline)
+	}
+}
+
+func TestOnDeliverTracksWorstDetouredPacket(t *testing.T) {
+	sched := eventq.NewScheduler()
+	c := NewCollector(sched)
+	p1 := &packet.Packet{Kind: packet.Data, Detours: 3,
+		Trace: []packet.TraceHop{{Node: 1, Port: 0, Detoured: true}}}
+	p2 := &packet.Packet{Kind: packet.Data, Detours: 15,
+		Trace: []packet.TraceHop{{Node: 2, Port: 1, Detoured: true}, {Node: 3, Port: 0}}}
+	p3 := &packet.Packet{Kind: packet.Data, Detours: 7}
+	c.OnDeliver(p1)
+	c.OnDeliver(p2)
+	c.OnDeliver(p3)
+	c.OnDeliver(&packet.Packet{Kind: packet.Ack, Detours: 99})
+	if c.MaxDetours != 15 {
+		t.Fatalf("MaxDetours = %d", c.MaxDetours)
+	}
+	if len(c.BestTrace) != 2 || c.BestTrace[0].Node != 2 {
+		t.Fatalf("BestTrace = %v", c.BestTrace)
+	}
+	if c.DeliveredData != 3 {
+		t.Fatalf("DeliveredData = %d", c.DeliveredData)
+	}
+	if c.DetourCounts.N() != 3 {
+		t.Fatalf("DetourCounts = %d", c.DetourCounts.N())
+	}
+	// DetouredFraction relates detour *decisions* (hook) to deliveries.
+	c.Hooks().OnDetour(1, p1, 0, 1)
+	if f := c.DetouredFraction(); f <= 0 {
+		t.Fatalf("DetouredFraction = %v", f)
+	}
+}
+
+// sink discards packets.
+type sink struct{}
+
+func (sink) Receive(p *packet.Packet, port int) {}
+
+func TestLinkUtilMonitor(t *testing.T) {
+	sched := eventq.NewScheduler()
+	// 1 Gbps port; a 1500B packet busies it for 12us.
+	op := switching.NewOutPort(sched, queue.NewDropTail(1000, 0), 1_000_000_000, 0, sink{}, 0)
+	m := NewLinkUtilMonitor(sched, 120*eventq.Microsecond, []PortRef{{Node: 1, Port: 0, Out: op}})
+	m.Start()
+	// Saturate the first window: 10 packets = 120us busy.
+	for i := 0; i < 10; i++ {
+		op.Enqueue(&packet.Packet{Kind: packet.Data, PayloadBytes: 1460})
+	}
+	sched.RunUntil(240 * eventq.Microsecond)
+	if len(m.Windows) != 2 {
+		t.Fatalf("windows = %d", len(m.Windows))
+	}
+	if m.Windows[0][0] < 0.99 {
+		t.Fatalf("first window util = %v, want ~1", m.Windows[0][0])
+	}
+	if m.Windows[1][0] != 0 {
+		t.Fatalf("second window util = %v, want 0", m.Windows[1][0])
+	}
+	hot := m.HotFractions(0.9)
+	if hot[0] != 1 || hot[1] != 0 {
+		t.Fatalf("hot fractions = %v", hot)
+	}
+	if got := m.HotPorts(0, 0.9); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("hot ports = %v", got)
+	}
+}
+
+func TestBufferSampler(t *testing.T) {
+	sched := eventq.NewScheduler()
+	q := queue.NewDropTail(2, 0)
+	op := switching.NewOutPort(sched, q, 1_000_000_000, 0, sink{}, 0)
+	b := NewBufferSampler(sched, 10*eventq.Microsecond, []PortRef{{Node: 1, Port: 0, Out: op}})
+	b.Start()
+	// Fill: 3 packets (1 transmitting at 12us, 2 queued).
+	for i := 0; i < 3; i++ {
+		op.Enqueue(&packet.Packet{Kind: packet.Data, PayloadBytes: 1460})
+	}
+	sched.RunUntil(10 * eventq.Microsecond)
+	if len(b.Snapshots) != 1 {
+		t.Fatalf("snapshots = %d", len(b.Snapshots))
+	}
+	s := b.Snapshots[0]
+	if s.Len[0] != 2 || !s.Full[0] {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	sched.RunUntil(eventq.Millisecond)
+	last := b.Snapshots[len(b.Snapshots)-1]
+	if last.Len[0] != 0 || last.Full[0] {
+		t.Fatal("queue should have drained")
+	}
+}
+
+func TestMonitorConstructorPanics(t *testing.T) {
+	sched := eventq.NewScheduler()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero window should panic")
+			}
+		}()
+		NewLinkUtilMonitor(sched, 0, nil)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero period should panic")
+			}
+		}()
+		NewBufferSampler(sched, 0, nil)
+	}()
+}
+
+func TestStartIdempotent(t *testing.T) {
+	sched := eventq.NewScheduler()
+	op := switching.NewOutPort(sched, queue.NewDropTail(2, 0), 1_000_000_000, 0, sink{}, 0)
+	m := NewLinkUtilMonitor(sched, 10*eventq.Microsecond, []PortRef{{Out: op}})
+	m.Start()
+	m.Start()
+	sched.RunUntil(10 * eventq.Microsecond)
+	if len(m.Windows) != 1 {
+		t.Fatalf("double Start duplicated sampling: %d windows", len(m.Windows))
+	}
+	b := NewBufferSampler(sched, 10*eventq.Microsecond, []PortRef{{Out: op}})
+	b.Start()
+	b.Start()
+	sched.RunUntil(20 * eventq.Microsecond)
+	if len(b.Snapshots) != 1 {
+		t.Fatalf("double Start duplicated snapshots: %d", len(b.Snapshots))
+	}
+}
+
+func TestFlowClassString(t *testing.T) {
+	if ClassQuery.String() != "query" || ClassBackground.String() != "background" ||
+		ClassLong.String() != "long" || FlowClass(9).String() != "unknown" {
+		t.Fatal("class strings")
+	}
+}

@@ -1,0 +1,103 @@
+// Package model provides closed-form performance bounds used to validate
+// the simulator: ideal (lossless, work-conserving) completion times for
+// incast queries and slow-start-limited flows. The integration tests assert
+// that simulated results with infinite buffers or DIBS land between these
+// lower bounds and a small constant factor above them — catching both
+// optimistic bugs (finishing faster than physics allows) and pessimistic
+// ones (unexplained stalls).
+package model
+
+import (
+	"math"
+
+	"dibs/internal/eventq"
+)
+
+// WirePacket describes segmentization for byte->wire-size conversion.
+type WirePacket struct {
+	MSS         int // payload bytes per full segment
+	HeaderBytes int // per-segment overhead
+}
+
+// DefaultWire matches the simulator's 1500-byte MTU framing.
+var DefaultWire = WirePacket{MSS: 1460, HeaderBytes: 40}
+
+// WireBytes returns the total bytes on the wire for a payload of n bytes,
+// including per-segment headers.
+func (w WirePacket) WireBytes(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	segs := (n + int64(w.MSS) - 1) / int64(w.MSS)
+	return n + segs*int64(w.HeaderBytes)
+}
+
+// Segments returns the number of MSS-sized segments for n payload bytes.
+func (w WirePacket) Segments(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return (n + int64(w.MSS) - 1) / int64(w.MSS)
+}
+
+// SerializationTime returns how long n wire bytes occupy a link of the
+// given rate.
+func SerializationTime(wireBytes int64, rateBps int64) eventq.Time {
+	return eventq.Time(wireBytes * 8 * int64(eventq.Second) / rateBps)
+}
+
+// IncastIdealQCT lower-bounds the completion time of a partition-aggregate
+// query: `degree` responders each send `bytes` to one receiver whose access
+// link runs at rateBps. Even a perfect scheduler must serialize every
+// response over that last hop, plus one base round trip to get the first
+// byte moving and the last byte delivered.
+func IncastIdealQCT(degree int, bytes int64, rateBps int64, baseRTT eventq.Time, w WirePacket) eventq.Time {
+	total := int64(degree) * w.WireBytes(bytes)
+	return SerializationTime(total, rateBps) + baseRTT
+}
+
+// SlowStartIdealFCT estimates (to within ~10%; pipelining overlaps the
+// final round trip) a single flow's completion time under
+// slow start with initial window initCwnd packets: the flow needs
+// ceil(log2(segments/initCwnd + 1)) round trips of window growth before the
+// pipe is full, plus the serialization of its bytes at the bottleneck.
+// Valid for an otherwise idle path.
+func SlowStartIdealFCT(bytes int64, rateBps int64, rtt eventq.Time, initCwnd float64, w WirePacket) eventq.Time {
+	segs := float64(w.Segments(bytes))
+	if segs <= 0 {
+		return 0
+	}
+	ser := SerializationTime(w.WireBytes(bytes), rateBps)
+	// Segments deliverable per RTT while windows still double: the flow is
+	// window-limited until cwnd*MSS covers the bandwidth-delay product or
+	// the flow ends. Lower bound: rounds of doubling needed to emit all
+	// segments if the link were infinitely fast, charged one RTT each —
+	// but never less than serialization + one RTT.
+	rounds := math.Ceil(math.Log2(segs/initCwnd + 1))
+	if rounds < 1 {
+		rounds = 1
+	}
+	windowBound := eventq.Time(float64(rtt) * rounds)
+	serBound := ser + rtt
+	if windowBound > serBound {
+		return windowBound
+	}
+	return serBound
+}
+
+// BaseRTT estimates the unloaded round-trip time of a path with `hops`
+// store-and-forward links of the given rate and per-link propagation delay,
+// for a full data segment out and a bare ACK back.
+func BaseRTT(hops int, rateBps int64, linkDelay eventq.Time, w WirePacket) eventq.Time {
+	data := SerializationTime(int64(w.MSS+w.HeaderBytes), rateBps) + linkDelay
+	ack := SerializationTime(int64(w.HeaderBytes), rateBps) + linkDelay
+	return eventq.Time(hops) * (data + ack)
+}
+
+// FairShare returns the per-flow ideal throughput when n flows share a link.
+func FairShare(rateBps int64, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return float64(rateBps) / float64(n)
+}

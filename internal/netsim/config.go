@@ -1,0 +1,333 @@
+// Package netsim assembles the full simulated data center — topology,
+// switches, hosts, transports, workloads, and instrumentation — and runs
+// one experiment end to end, returning the measurements the paper reports.
+package netsim
+
+import (
+	"fmt"
+
+	"dibs/internal/eventq"
+	"dibs/internal/transport"
+	"dibs/internal/workload"
+)
+
+// TopoKind selects the network topology.
+type TopoKind string
+
+const (
+	// TopoFatTree is the K-ary fat-tree of the NS-3 evaluation (§5.3).
+	TopoFatTree TopoKind = "fattree"
+	// TopoClick is the Emulab testbed tree of §5.2.
+	TopoClick TopoKind = "click"
+	// TopoLinear is the degenerate chain of footnote 10.
+	TopoLinear TopoKind = "linear"
+	// TopoJellyfish is the random graph discussed in §7.
+	TopoJellyfish TopoKind = "jellyfish"
+	// TopoHyperX is the 2-D HyperX discussed in §7.
+	TopoHyperX TopoKind = "hyperx"
+)
+
+// BufferMode selects the switch queue discipline.
+type BufferMode string
+
+const (
+	// BufferDropTail is a fixed per-port FIFO (paper default, 100 pkts).
+	BufferDropTail BufferMode = "droptail"
+	// BufferInfinite is the unbounded baseline of §5.2.
+	BufferInfinite BufferMode = "infinite"
+	// BufferShared is dynamic buffer allocation over shared switch
+	// memory (§5.5.2).
+	BufferShared BufferMode = "shared"
+	// BufferPFabric is the 24-packet priority queue of §5.8.
+	BufferPFabric BufferMode = "pfabric"
+)
+
+// SwitchArch selects the switch architecture (§4).
+type SwitchArch string
+
+const (
+	// ArchOutputQueued is the paper's primary model (and the default;
+	// the empty string means the same).
+	ArchOutputQueued SwitchArch = "oq"
+	// ArchCIOQ is the combined input/output queued architecture of §4.
+	ArchCIOQ SwitchArch = "cioq"
+)
+
+// BGDistribution names a background flow-size distribution.
+type BGDistribution string
+
+const (
+	// BGWebSearch is the DCTCP-paper web-search shape (default; the
+	// empty string means the same).
+	BGWebSearch BGDistribution = "websearch"
+	// BGDataMining is the VL2/pFabric data-mining shape.
+	BGDataMining BGDistribution = "datamining"
+)
+
+// DetourPolicy names a DIBS policy.
+type DetourPolicy string
+
+const (
+	// PolicyRandom is the paper's parameter-free default.
+	PolicyRandom DetourPolicy = "random"
+	// PolicyLoadAware detours to the least-loaded eligible port (§7).
+	PolicyLoadAware DetourPolicy = "load-aware"
+	// PolicyFlowBased pins each flow's detours to one port (§7).
+	PolicyFlowBased DetourPolicy = "flow-based"
+	// PolicyProbabilistic detours low-priority packets early (§7).
+	PolicyProbabilistic DetourPolicy = "probabilistic"
+)
+
+// OneShot describes a single synchronized incast (the §5.2 Click
+// experiment): Senders hosts each open FlowsPerSender simultaneous flows of
+// Bytes to the last host, at time At.
+type OneShot struct {
+	At             eventq.Time
+	Senders        int
+	FlowsPerSender int
+	Bytes          int64
+}
+
+// LongFlows configures the §5.6 fairness workload: node-disjoint host
+// pairs, each running PerPair flows in both directions for the whole run.
+// Shuffle switches from adjacent (same-edge) pairing to random pairing,
+// which adds ECMP path contention (an ablation beyond the paper).
+type LongFlows struct {
+	PerPair int
+	Shuffle bool
+}
+
+// Config fully describes one simulation run. The zero value is not valid;
+// start from DefaultConfig.
+type Config struct {
+	// --- topology ---
+	Topo     TopoKind
+	FatTreeK int
+	// Oversub divides switch-to-switch link capacity (§5.5.4): factor f
+	// yields 1:f^2 oversubscription. 1 = full bisection.
+	Oversub   int
+	LinkRate  int64
+	LinkDelay eventq.Time
+	// Jellyfish / HyperX / Linear geometry (used per Topo).
+	JellyfishSwitches, JellyfishDegree, JellyfishHostsPer int
+	HyperXX, HyperXY, HyperXHostsPer                      int
+	LinearSwitches, LinearHostsPer                        int
+
+	// --- switch architecture ---
+	// Arch selects output-queued (default) or combined input/output
+	// queued switches (§4): "cioq" adds per-input VOQ buffers and a
+	// crossbar with CIOQSpeedup; DIBS detours at the forwarding engine
+	// against the egress queues.
+	Arch           SwitchArch
+	CIOQIngressCap int
+	CIOQSpeedup    int
+
+	// --- switch buffers ---
+	Buffer BufferMode
+	// BufferPkts is the per-port queue capacity (droptail/pfabric).
+	BufferPkts int
+	// MarkAtPkts is the DCTCP ECN marking threshold; 0 disables marking.
+	MarkAtPkts int
+	// SharedPoolPkts / SharedAlpha / SharedReserve parameterize DBA.
+	SharedPoolPkts int
+	SharedAlpha    float64
+	SharedReserve  int
+
+	// --- DIBS ---
+	DIBS   bool
+	Policy DetourPolicy
+	// ProbabilisticStart is the early-detour occupancy threshold.
+	ProbabilisticStart float64
+
+	// --- Ethernet flow control (§6 comparison; alternative to DIBS) ---
+	// PFC enables hop-by-hop pause. Requires BufferShared (real PFC
+	// switches do per-ingress accounting over shared memory) and DIBS
+	// off. A switch pauses an upstream link when PFCXoff packets from
+	// that ingress are buffered, and resumes below PFCXon.
+	PFC     bool
+	PFCXoff int
+	PFCXon  int
+
+	// --- transport (Table 1) ---
+	Transport    transport.Variant
+	MinRTO       eventq.Time
+	InitCwnd     float64
+	DupAckThresh int
+	TTL          int
+	// DelayedAck enables the DCTCP delayed-ACK ECN-echo state machine
+	// instead of per-segment ACKs.
+	DelayedAck bool
+
+	// PacketSpray switches all switches from flow-level to packet-level
+	// ECMP (§6 comparison: even per-packet load balancing cannot relieve
+	// incast, because the last hop has a single path).
+	PacketSpray bool
+
+	// --- workload (Table 2) ---
+	Seed int64
+	// Duration is the traffic-generation window; Drain is extra time to
+	// let in-flight flows finish before measuring.
+	Duration eventq.Time
+	Drain    eventq.Time
+	// BGInterarrival is the per-host mean background flow inter-arrival
+	// time; 0 disables background traffic.
+	BGInterarrival eventq.Time
+	// BGDist selects the background flow-size distribution:
+	// "websearch" (default, the DCTCP-paper trace shape the paper's
+	// simulations use) or "datamining" (the VL2/pFabric trace shape).
+	BGDist BGDistribution
+	// Query enables incast traffic when non-nil.
+	Query *workload.QueryConfig
+	// OneShot enables a single synchronized incast when non-nil.
+	OneShot *OneShot
+	// Long enables the fairness workload when non-nil.
+	Long *LongFlows
+
+	// --- instrumentation ---
+	RecordTimeline bool
+	// TraceEveryNth attaches a path trace to every Nth data packet
+	// (0 disables tracing).
+	TraceEveryNth int
+	// TraceEvents records a structured event log (drops, detours,
+	// deliveries, flow/query lifecycle) on Network.Trace, capped at
+	// TraceEventCap events (0 = 1M).
+	TraceEvents   bool
+	TraceEventCap int
+	// UtilWindow enables the link-utilization monitor (Figure 4);
+	// 0 disables.
+	UtilWindow eventq.Time
+	// BufferSamplePeriod enables buffer-occupancy snapshots (Figures 2b
+	// and 5); 0 disables.
+	BufferSamplePeriod eventq.Time
+	// HostQueuePkts is the host NIC queue depth.
+	HostQueuePkts int
+	// ForwardJitter adds a uniform per-packet delivery jitter in
+	// [0, ForwardJitter) on every link (FIFO order preserved), modeling
+	// variable switch pipeline latency. Without it, identical self-clocked
+	// DCTCP flows phase-lock on the deterministic marking threshold and
+	// share bandwidth unfairly. 0 disables.
+	ForwardJitter eventq.Time
+}
+
+// DefaultConfig returns the paper's default setup (Tables 1 and 2): K=8
+// fat-tree, 1 Gbps links, 100-packet buffers marking at 20, DCTCP with
+// 10 ms minRTO and initial window 10, fast retransmit disabled, DIBS with
+// the random policy, 300 qps incast of degree 40 x 20 KB, and 120 ms
+// per-host background inter-arrivals.
+func DefaultConfig() Config {
+	return Config{
+		Topo:      TopoFatTree,
+		FatTreeK:  8,
+		Oversub:   1,
+		LinkRate:  1_000_000_000,
+		LinkDelay: 1500 * eventq.Nanosecond,
+
+		Buffer:         BufferDropTail,
+		BufferPkts:     100,
+		MarkAtPkts:     20,
+		SharedPoolPkts: 1133, // ~1.7MB of 1500B packets (§5.5.2)
+		SharedAlpha:    1,
+		SharedReserve:  10,
+
+		DIBS:               true,
+		Policy:             PolicyRandom,
+		ProbabilisticStart: 0.8,
+
+		PFCXoff: 100,
+		PFCXon:  80,
+
+		Transport:    transport.DCTCP,
+		MinRTO:       10 * eventq.Millisecond,
+		InitCwnd:     10,
+		DupAckThresh: 0,
+		TTL:          255,
+
+		Seed:           1,
+		Duration:       eventq.Second,
+		Drain:          300 * eventq.Millisecond,
+		BGInterarrival: 120 * eventq.Millisecond,
+		Query: &workload.QueryConfig{
+			QPS:           300,
+			Degree:        40,
+			ResponseBytes: 20_000,
+		},
+
+		HostQueuePkts: 100_000,
+		ForwardJitter: 2 * eventq.Microsecond,
+
+		Arch:           ArchOutputQueued,
+		CIOQIngressCap: 100,
+		CIOQSpeedup:    2,
+	}
+}
+
+// Validate panics on inconsistent configurations; Build calls it.
+func (c *Config) Validate() {
+	if c.LinkRate <= 0 {
+		panic("netsim: link rate must be positive")
+	}
+	if c.Buffer == BufferDropTail && c.BufferPkts < 1 {
+		panic("netsim: droptail needs BufferPkts >= 1")
+	}
+	if c.Buffer == BufferPFabric && c.BufferPkts < 1 {
+		panic("netsim: pfabric needs BufferPkts >= 1")
+	}
+	if c.Buffer == BufferShared && c.SharedPoolPkts < 1 {
+		panic("netsim: shared buffer needs SharedPoolPkts >= 1")
+	}
+	if c.DIBS && c.Buffer == BufferPFabric {
+		panic("netsim: DIBS does not combine with pFabric queues")
+	}
+	if c.PFC {
+		if c.DIBS {
+			panic("netsim: PFC and DIBS are alternative mechanisms; enable one")
+		}
+		if c.Buffer != BufferShared {
+			panic("netsim: PFC requires shared-buffer switches")
+		}
+		if c.PFCXon <= 0 || c.PFCXon >= c.PFCXoff {
+			panic("netsim: PFC requires 0 < PFCXon < PFCXoff")
+		}
+	}
+	switch c.BGDist {
+	case "", BGWebSearch, BGDataMining:
+	default:
+		panic(fmt.Sprintf("netsim: unknown background distribution %q", c.BGDist))
+	}
+	switch c.Arch {
+	case "", ArchOutputQueued:
+	case ArchCIOQ:
+		if c.PFC {
+			panic("netsim: PFC is implemented for output-queued switches only")
+		}
+		if c.Buffer != BufferDropTail {
+			panic("netsim: CIOQ uses dedicated drop-tail egress queues")
+		}
+		if c.CIOQIngressCap < 1 || c.CIOQSpeedup < 1 {
+			panic("netsim: CIOQ needs positive ingress capacity and speedup")
+		}
+	default:
+		panic(fmt.Sprintf("netsim: unknown switch architecture %q", c.Arch))
+	}
+	if c.Duration <= 0 {
+		panic("netsim: duration must be positive")
+	}
+	if c.TTL < 2 {
+		panic("netsim: TTL must be >= 2")
+	}
+	if c.HostQueuePkts < 1 {
+		panic("netsim: host queue must hold >= 1 packet")
+	}
+	switch c.Topo {
+	case TopoFatTree, TopoClick, TopoLinear, TopoJellyfish, TopoHyperX:
+	default:
+		panic(fmt.Sprintf("netsim: unknown topology %q", c.Topo))
+	}
+	if c.DIBS {
+		switch c.Policy {
+		case PolicyRandom, PolicyLoadAware, PolicyFlowBased, PolicyProbabilistic:
+		default:
+			panic(fmt.Sprintf("netsim: unknown detour policy %q", c.Policy))
+		}
+	}
+}

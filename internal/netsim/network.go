@@ -1,0 +1,423 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dibs/internal/core"
+	"dibs/internal/eventq"
+	"dibs/internal/host"
+	"dibs/internal/metrics"
+	"dibs/internal/packet"
+	"dibs/internal/queue"
+	"dibs/internal/switching"
+	"dibs/internal/topology"
+	"dibs/internal/trace"
+	"dibs/internal/transport"
+	"dibs/internal/workload"
+)
+
+// Network is a fully assembled simulation.
+type Network struct {
+	Cfg   Config
+	Sched *eventq.Scheduler
+	Topo  *topology.Topology
+	// Switches is indexed by node ID (nil entries for hosts); entries are
+	// *switching.Switch (output-queued) or *switching.CIOQSwitch per
+	// Config.Arch.
+	Switches []switching.Node
+	// HostsByID is indexed by node ID (nil entries for switches).
+	HostsByID []*host.Host
+	Collector *metrics.Collector
+	// Util and Buf are non-nil when the config enables them.
+	Util *metrics.LinkUtilMonitor
+	Buf  *metrics.BufferSampler
+	// Trace is non-nil when Config.TraceEvents is set.
+	Trace *trace.Recorder
+
+	handlers []switching.Handler
+	rng      *rand.Rand
+
+	nextFlow packet.FlowID
+	// senders retains every sender for end-of-run stats aggregation.
+	senders []*transport.Sender
+	// longRx tracks fairness-experiment receivers for goodput accounting.
+	longRx []*transport.Receiver
+
+	// dataEmitted counts data packets handed to host NICs, for the
+	// trace-sampling stride.
+	dataEmitted int
+}
+
+// portRef lets OutPorts deliver through the network's handler table,
+// breaking the construction cycle between ports and handlers.
+type portRef struct {
+	n    *Network
+	node packet.NodeID
+}
+
+func (r portRef) Receive(p *packet.Packet, port int) {
+	r.n.handlers[r.node].Receive(p, port)
+}
+
+// Build constructs the network described by cfg.
+func Build(cfg Config) *Network {
+	cfg.Validate()
+	n := &Network{
+		Cfg:   cfg,
+		Sched: eventq.NewScheduler(),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	n.Topo = buildTopo(cfg)
+	n.Collector = metrics.NewCollector(n.Sched)
+	n.Collector.RecordTimeline = cfg.RecordTimeline
+
+	nn := n.Topo.NumNodes()
+	n.Switches = make([]switching.Node, nn)
+	n.HostsByID = make([]*host.Host, nn)
+	n.handlers = make([]switching.Handler, nn)
+
+	hooks := n.Collector.Hooks()
+	if cfg.TraceEvents {
+		n.Trace = trace.NewRecorder(cfg.TraceEventCap)
+		inner := hooks
+		hooks = &switching.Hooks{
+			OnDrop: func(node packet.NodeID, p *packet.Packet, reason switching.DropReason) {
+				inner.OnDrop(node, p, reason)
+				n.Trace.Record(trace.Event{
+					T: n.Sched.Now(), Kind: trace.KindDrop, Node: node,
+					Flow: p.Flow, Seq: p.Seq, Detail: reason.String(),
+				})
+			},
+			OnDetour: func(node packet.NodeID, p *packet.Packet, desired, chosen int) {
+				inner.OnDetour(node, p, desired, chosen)
+				n.Trace.Record(trace.Event{
+					T: n.Sched.Now(), Kind: trace.KindDetour, Node: node,
+					Flow: p.Flow, Seq: p.Seq, Detail: fmt.Sprintf("%d->%d", desired, chosen),
+				})
+			},
+		}
+	}
+	jitterRng := rand.New(rand.NewSource(cfg.Seed ^ 0x7177E5))
+	jitterize := func(op *switching.OutPort) *switching.OutPort {
+		if cfg.ForwardJitter > 0 {
+			op.SetJitter(jitterRng, cfg.ForwardJitter)
+		}
+		return op
+	}
+
+	// Hosts first (their NICs are simple), then switches.
+	for _, hid := range n.Topo.Hosts() {
+		h := host.New(hid)
+		p := n.Topo.Ports(hid)[0]
+		nic := jitterize(switching.NewOutPort(n.Sched, queue.NewDropTail(cfg.HostQueuePkts, 0),
+			p.RateBps, p.Delay, portRef{n, p.Peer}, p.PeerPort))
+		h.NIC = nic
+		h.OnDeliver = n.Collector.OnDeliver
+		if cfg.TraceEvents {
+			hid := hid
+			h.OnDeliver = func(p *packet.Packet) {
+				n.Collector.OnDeliver(p)
+				if p.Kind == packet.Data {
+					n.Trace.Record(trace.Event{
+						T: n.Sched.Now(), Kind: trace.KindDeliver, Node: hid,
+						Flow: p.Flow, Seq: p.Seq,
+					})
+				}
+			}
+		}
+		if cfg.TraceEveryNth > 0 {
+			stride := cfg.TraceEveryNth
+			h.TracePacket = func(p *packet.Packet) bool {
+				n.dataEmitted++
+				return n.dataEmitted%stride == 0
+			}
+		}
+		n.HostsByID[hid] = h
+		n.handlers[hid] = h
+	}
+	for _, sid := range n.Topo.Switches() {
+		ports := make([]*switching.OutPort, 0, len(n.Topo.Ports(sid)))
+		var pool *queue.SharedPool
+		if cfg.Buffer == BufferShared {
+			pool = queue.NewSharedPool(cfg.SharedPoolPkts, cfg.SharedAlpha, cfg.SharedReserve)
+		}
+		for _, p := range n.Topo.Ports(sid) {
+			ports = append(ports, jitterize(switching.NewOutPort(n.Sched, n.makeQueue(pool),
+				p.RateBps, p.Delay, portRef{n, p.Peer}, p.PeerPort)))
+		}
+		swRng := rand.New(rand.NewSource(cfg.Seed ^ (int64(sid)+1)*0x5DEECE66D))
+		var node switching.Node
+		if cfg.Arch == ArchCIOQ {
+			sw := switching.NewCIOQSwitch(sid, n.Topo, n.Sched, ports,
+				switching.CIOQConfig{IngressCap: cfg.CIOQIngressCap, Speedup: cfg.CIOQSpeedup},
+				n.makePolicy(), swRng, hooks)
+			sw.MarkDetours = cfg.MarkAtPkts > 0
+			node = sw
+		} else {
+			sw := switching.NewSwitch(sid, n.Topo, ports, n.makePolicy(), swRng, hooks)
+			sw.MarkDetours = cfg.MarkAtPkts > 0
+			sw.PacketSpray = cfg.PacketSpray
+			node = sw
+		}
+		n.Switches[sid] = node
+		n.handlers[sid] = node
+	}
+
+	if cfg.PFC {
+		n.enablePFC()
+	}
+	n.installMonitors()
+	return n
+}
+
+// enablePFC turns on Ethernet flow control everywhere: each switch pauses
+// the upstream transmitter (switch port or host NIC) of an ingress whose
+// buffered packets cross Xoff. Control frames take one link delay.
+func (n *Network) enablePFC() {
+	for _, sid := range n.Topo.Switches() {
+		sid := sid
+		sw, ok := n.Switches[sid].(*switching.Switch)
+		if !ok {
+			panic("netsim: PFC requires output-queued switches")
+		}
+		sw.EnablePFC(switching.PFCConfig{
+			Xoff: n.Cfg.PFCXoff,
+			Xon:  n.Cfg.PFCXon,
+			Pause: func(inPort int, paused bool) {
+				p := n.Topo.Ports(sid)[inPort]
+				n.Sched.After(p.Delay, func() {
+					if h := n.HostsByID[p.Peer]; h != nil {
+						h.NIC.SetPaused(paused)
+						return
+					}
+					n.Switches[p.Peer].Ports()[p.PeerPort].SetPaused(paused)
+				})
+			},
+		})
+	}
+}
+
+// PFCPauses sums PAUSE frames emitted across all switches.
+func (n *Network) PFCPauses() uint64 {
+	var total uint64
+	for _, sid := range n.Topo.Switches() {
+		if sw, ok := n.Switches[sid].(*switching.Switch); ok {
+			total += sw.PFCPausesSent()
+		}
+	}
+	return total
+}
+
+func buildTopo(cfg Config) *topology.Topology {
+	spec := topology.LinkSpec{RateBps: cfg.LinkRate, Delay: cfg.LinkDelay}
+	switch cfg.Topo {
+	case TopoFatTree:
+		return topology.FatTree(cfg.FatTreeK, spec, cfg.Oversub)
+	case TopoClick:
+		return topology.ClickTestbed(spec)
+	case TopoLinear:
+		return topology.Linear(cfg.LinearSwitches, cfg.LinearHostsPer, spec)
+	case TopoJellyfish:
+		return topology.Jellyfish(cfg.JellyfishSwitches, cfg.JellyfishDegree,
+			cfg.JellyfishHostsPer, spec, cfg.Seed)
+	case TopoHyperX:
+		return topology.HyperX(cfg.HyperXX, cfg.HyperXY, cfg.HyperXHostsPer, spec)
+	default:
+		panic("netsim: unreachable topology kind")
+	}
+}
+
+func (n *Network) makeQueue(pool *queue.SharedPool) queue.Queue {
+	cfg := &n.Cfg
+	switch cfg.Buffer {
+	case BufferDropTail:
+		return queue.NewDropTail(cfg.BufferPkts, cfg.MarkAtPkts)
+	case BufferInfinite:
+		return queue.NewInfinite(cfg.MarkAtPkts)
+	case BufferShared:
+		return queue.NewSharedQueue(pool, cfg.MarkAtPkts)
+	case BufferPFabric:
+		return queue.NewPFabric(cfg.BufferPkts)
+	default:
+		panic("netsim: unreachable buffer mode")
+	}
+}
+
+func (n *Network) makePolicy() core.Policy {
+	if !n.Cfg.DIBS {
+		return nil
+	}
+	switch n.Cfg.Policy {
+	case PolicyRandom:
+		return core.NewRandom()
+	case PolicyLoadAware:
+		return core.NewLoadAware()
+	case PolicyFlowBased:
+		return core.NewFlowBased()
+	case PolicyProbabilistic:
+		return core.NewProbabilistic(n.Cfg.ProbabilisticStart)
+	default:
+		panic("netsim: unreachable policy")
+	}
+}
+
+func (n *Network) installMonitors() {
+	cfg := &n.Cfg
+	if cfg.UtilWindow > 0 {
+		n.Util = metrics.NewLinkUtilMonitor(n.Sched, cfg.UtilWindow, n.switchPorts())
+	}
+	if cfg.BufferSamplePeriod > 0 {
+		n.Buf = metrics.NewBufferSampler(n.Sched, cfg.BufferSamplePeriod, n.switchPorts())
+	}
+}
+
+// switchPorts lists every switch output port, for the monitors.
+func (n *Network) switchPorts() []metrics.PortRef {
+	var out []metrics.PortRef
+	for _, sid := range n.Topo.Switches() {
+		for pi, op := range n.Switches[sid].Ports() {
+			out = append(out, metrics.PortRef{Node: sid, Port: pi, Out: op})
+		}
+	}
+	return out
+}
+
+// transportConfig derives the per-flow transport settings from the run
+// config.
+func (n *Network) transportConfig() transport.Config {
+	cfg := &n.Cfg
+	tc := transport.DefaultConfig(cfg.Transport)
+	tc.InitCwnd = cfg.InitCwnd
+	tc.DupAckThresh = cfg.DupAckThresh
+	tc.TTL = cfg.TTL
+	tc.DelayedAck = cfg.DelayedAck
+	if cfg.Transport != transport.PFabric {
+		tc.MinRTO = cfg.MinRTO
+	}
+	return tc
+}
+
+// StartFlow launches a flow of bytes from src to dst, registering it with
+// the collector. queryID is -1 for non-query flows. Returns the sender.
+func (n *Network) StartFlow(src, dst packet.NodeID, bytes int64,
+	class metrics.FlowClass, queryID int) *transport.Sender {
+	if src == dst {
+		panic("netsim: flow to self")
+	}
+	flowID := n.nextFlow
+	n.nextFlow++
+
+	srcHost := n.HostsByID[src]
+	dstHost := n.HostsByID[dst]
+	if srcHost == nil || dstHost == nil {
+		panic(fmt.Sprintf("netsim: flow endpoints %d->%d are not hosts", src, dst))
+	}
+
+	tc := n.transportConfig()
+	env := transport.Env{Sched: n.Sched}
+
+	sEnv := env
+	sEnv.Emit = srcHost.Send
+	snd := transport.NewSender(sEnv, tc, flowID, src, dst, bytes)
+
+	rEnv := env
+	rEnv.Emit = dstHost.Send
+	rcv := transport.NewReceiver(rEnv, tc, flowID, dst, bytes)
+
+	n.Collector.FlowStarted(flowID, class, bytes, queryID)
+	if n.Trace != nil {
+		n.Trace.Record(trace.Event{
+			T: n.Sched.Now(), Kind: trace.KindFlowStart, Node: src,
+			Flow: flowID, Seq: -1, Detail: fmt.Sprintf("%s %dB -> %d", class, bytes, dst),
+		})
+	}
+	rcv.OnComplete = func() {
+		n.Collector.FlowDone(flowID)
+		dstHost.RemoveReceiver(flowID)
+		if n.Trace != nil {
+			n.Trace.Record(trace.Event{
+				T: n.Sched.Now(), Kind: trace.KindFlowDone, Node: dst,
+				Flow: flowID, Seq: -1,
+			})
+		}
+	}
+	snd.OnComplete = func() {
+		srcHost.RemoveSender(flowID)
+	}
+
+	srcHost.AddSender(snd)
+	dstHost.AddReceiver(rcv)
+	n.senders = append(n.senders, snd)
+	if class == metrics.ClassLong {
+		n.longRx = append(n.longRx, rcv)
+	}
+	snd.Start()
+	return snd
+}
+
+// Run installs the configured workloads, runs the simulation for
+// Duration+Drain, and returns the results.
+func (n *Network) Run() *Results {
+	cfg := &n.Cfg
+	hosts := n.Topo.Hosts()
+	start := func(src, dst packet.NodeID, bytes int64, class metrics.FlowClass, queryID int) {
+		n.StartFlow(src, dst, bytes, class, queryID)
+	}
+
+	if cfg.BGInterarrival > 0 {
+		dist := workload.WebSearchBackground()
+		if cfg.BGDist == BGDataMining {
+			dist = workload.DataMiningBackground()
+		}
+		bg := workload.NewBackground(n.Sched, rand.New(rand.NewSource(cfg.Seed+101)),
+			hosts, cfg.BGInterarrival, dist, cfg.Duration, start)
+		bg.Start()
+	}
+	if cfg.Query != nil {
+		q := workload.NewQueries(n.Sched, rand.New(rand.NewSource(cfg.Seed+202)),
+			hosts, *cfg.Query, cfg.Duration, start)
+		q.OnQuery = n.Collector.QueryStarted
+		q.Start()
+	}
+	if cfg.OneShot != nil {
+		os := cfg.OneShot
+		if os.Senders >= len(hosts) {
+			panic("netsim: one-shot senders must leave a target host")
+		}
+		n.Sched.At(os.At, func() {
+			target := hosts[len(hosts)-1]
+			nFlows := os.Senders * os.FlowsPerSender
+			n.Collector.QueryStarted(1_000_000, nFlows)
+			for s := 0; s < os.Senders; s++ {
+				for f := 0; f < os.FlowsPerSender; f++ {
+					n.StartFlow(hosts[s], target, os.Bytes, metrics.ClassQuery, 1_000_000)
+				}
+			}
+		})
+	}
+	if cfg.Long != nil {
+		pairs := workload.Pairs(hosts)
+		if cfg.Long.Shuffle {
+			pairs = workload.PairsShuffled(hosts, rand.New(rand.NewSource(cfg.Seed+303)))
+		}
+		const longBytes = int64(1) << 40 // effectively unbounded
+		for _, pr := range pairs {
+			for i := 0; i < cfg.Long.PerPair; i++ {
+				n.StartFlow(pr[0], pr[1], longBytes, metrics.ClassLong, -1)
+				n.StartFlow(pr[1], pr[0], longBytes, metrics.ClassLong, -1)
+			}
+		}
+	}
+
+	if n.Util != nil {
+		n.Util.Start()
+	}
+	if n.Buf != nil {
+		n.Buf.Start()
+	}
+
+	end := cfg.Duration + cfg.Drain
+	n.Sched.RunUntil(end)
+	return n.results(end)
+}

@@ -1,0 +1,128 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"dibs/internal/eventq"
+	"dibs/internal/metrics"
+	"dibs/internal/stats"
+	"dibs/internal/switching"
+)
+
+// Results summarizes one run. Times are milliseconds, matching the paper's
+// axes. Percentiles are NaN when no sample exists.
+type Results struct {
+	Cfg     Config
+	SimTime eventq.Time
+
+	// Query traffic (paper metric: 99th percentile QCT).
+	QueriesStarted, QueriesDone int
+	QCT50, QCT99, QCTMax        float64
+
+	// Background traffic (paper metric: 99th percentile FCT of 1-10KB
+	// flows).
+	BGFlowsDone            int
+	ShortFCT50, ShortFCT99 float64
+	BGFCT99                float64
+
+	// Loss and detouring.
+	Drops         [switching.NumDropReasons]uint64
+	TotalDrops    uint64
+	Detours       uint64
+	DetouredFrac  float64
+	MaxDetours    int
+	DetourP99     float64
+	HostNICDrops  uint64
+	DeliveredData uint64
+
+	// Sender-side recovery activity, aggregated over all flows.
+	Timeouts, Retransmits, FastRecovers int
+
+	// PFCPauses counts Ethernet flow-control PAUSE frames (PFC runs).
+	PFCPauses uint64
+
+	// Fairness (§5.6): per-long-flow goodput in bits/s and Jain's index.
+	LongGoodputs []float64
+	JainIndex    float64
+
+	// Collector retains the full samples for CDF-level analysis.
+	Collector *metrics.Collector
+}
+
+func (n *Network) results(end eventq.Time) *Results {
+	c := n.Collector
+	r := &Results{
+		Cfg:            n.Cfg,
+		SimTime:        end,
+		QueriesStarted: c.StartedQueries(),
+		QueriesDone:    c.CompletedQueries(),
+		QCT50:          c.QCTs.Percentile(50),
+		QCT99:          c.QCTs.Percentile(99),
+		QCTMax:         c.QCTs.Max(),
+		BGFlowsDone:    c.CompletedFlows(metrics.ClassBackground),
+		ShortFCT50:     c.ShortBGFCTs.Percentile(50),
+		ShortFCT99:     c.ShortBGFCTs.Percentile(99),
+		BGFCT99:        c.BGFCTs.Percentile(99),
+		Drops:          c.Drops,
+		TotalDrops:     c.TotalDrops(),
+		Detours:        c.Detours,
+		DetouredFrac:   c.DetouredFraction(),
+		MaxDetours:     c.MaxDetours,
+		DetourP99:      c.DetourCounts.Percentile(99),
+		DeliveredData:  c.DeliveredData,
+		Collector:      c,
+	}
+	for _, h := range n.Topo.Hosts() {
+		r.HostNICDrops += n.HostsByID[h].NICDrops
+	}
+	for _, s := range n.senders {
+		r.Timeouts += s.Timeouts
+		r.Retransmits += s.Retransmits
+		r.FastRecovers += s.FastRecovers
+	}
+	r.PFCPauses = n.PFCPauses()
+	if len(n.longRx) > 0 {
+		secs := end.Seconds()
+		for _, rx := range n.longRx {
+			r.LongGoodputs = append(r.LongGoodputs, float64(rx.RcvNxt())*8/secs)
+		}
+		r.JainIndex = stats.Jain(r.LongGoodputs)
+	}
+	return r
+}
+
+// NetworkDrops returns drops excluding pFabric evictions (which are part of
+// that design's normal operation).
+func (r *Results) NetworkDrops() uint64 {
+	return r.TotalDrops - r.Drops[switching.DropEvicted]
+}
+
+// String renders a compact human-readable summary.
+func (r *Results) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim %v: ", r.SimTime)
+	if r.QueriesStarted > 0 {
+		fmt.Fprintf(&b, "queries %d/%d done, QCT p50/p99 = %.2f/%.2f ms; ",
+			r.QueriesDone, r.QueriesStarted, r.QCT50, r.QCT99)
+	}
+	if r.BGFlowsDone > 0 {
+		fmt.Fprintf(&b, "bg flows %d, short FCT p99 = %.2f ms; ", r.BGFlowsDone, r.ShortFCT99)
+	}
+	fmt.Fprintf(&b, "drops %d (overflow %d, no-detour %d, ttl %d, evicted %d), detours %d",
+		r.TotalDrops, r.Drops[switching.DropOverflow], r.Drops[switching.DropNoDetour],
+		r.Drops[switching.DropTTL], r.Drops[switching.DropEvicted], r.Detours)
+	if len(r.LongGoodputs) > 0 {
+		fmt.Fprintf(&b, "; Jain %.3f over %d long flows", r.JainIndex, len(r.LongGoodputs))
+	}
+	return b.String()
+}
+
+// FiniteOr returns v, or def when v is NaN (for rendering).
+func FiniteOr(v, def float64) float64 {
+	if math.IsNaN(v) {
+		return def
+	}
+	return v
+}

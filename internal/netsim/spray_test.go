@@ -1,0 +1,39 @@
+package netsim
+
+import (
+	"testing"
+
+	"dibs/internal/eventq"
+)
+
+func TestPacketSprayReordersButCompletes(t *testing.T) {
+	cfg := smallConfig()
+	cfg.DIBS = false
+	cfg.PacketSpray = true
+	cfg.OneShot = &OneShot{At: eventq.Millisecond, Senders: 12, FlowsPerSender: 2, Bytes: 20_000}
+	cfg.Duration = 30 * eventq.Millisecond
+	cfg.Drain = 500 * eventq.Millisecond
+	r := Build(cfg).Run()
+	if r.QueriesDone != 1 {
+		t.Fatalf("spray incast incomplete: %s", r)
+	}
+	// Spraying cannot relieve the last hop: drops still occur.
+	if r.TotalDrops == 0 {
+		t.Fatalf("expected last-hop drops under spraying: %s", r)
+	}
+}
+
+func TestDelayedAckRunCompletes(t *testing.T) {
+	cfg := smallConfig()
+	cfg.DelayedAck = true
+	cfg.Query = incastQuery(200, 8, 20_000)
+	cfg.Duration = 60 * eventq.Millisecond
+	cfg.Drain = 300 * eventq.Millisecond
+	r := Build(cfg).Run()
+	if r.QueriesDone != r.QueriesStarted || r.QueriesDone == 0 {
+		t.Fatalf("delayed-ack run incomplete: %s", r)
+	}
+	if r.NetworkDrops() != 0 {
+		t.Fatalf("delayed-ack DIBS run dropped: %s", r)
+	}
+}

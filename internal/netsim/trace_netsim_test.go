@@ -1,0 +1,51 @@
+package netsim
+
+import (
+	"bytes"
+	"testing"
+
+	"dibs/internal/eventq"
+	"dibs/internal/trace"
+)
+
+func TestEventTraceRecordsRun(t *testing.T) {
+	cfg := smallConfig()
+	cfg.TraceEvents = true
+	cfg.OneShot = &OneShot{At: eventq.Millisecond, Senders: 12, FlowsPerSender: 2, Bytes: 20_000}
+	cfg.Duration = 30 * eventq.Millisecond
+	cfg.Drain = 300 * eventq.Millisecond
+	n := Build(cfg)
+	r := n.Run()
+	if n.Trace == nil {
+		t.Fatal("trace recorder missing")
+	}
+	if n.Trace.Count(trace.KindFlowStart) != 24 || n.Trace.Count(trace.KindFlowDone) != 24 {
+		t.Fatalf("flow lifecycle events: start=%d done=%d",
+			n.Trace.Count(trace.KindFlowStart), n.Trace.Count(trace.KindFlowDone))
+	}
+	if n.Trace.Count(trace.KindDetour) != r.Detours {
+		t.Fatalf("detour events %d != detour count %d", n.Trace.Count(trace.KindDetour), r.Detours)
+	}
+	if n.Trace.Count(trace.KindDeliver) != r.DeliveredData {
+		t.Fatalf("deliver events %d != delivered %d", n.Trace.Count(trace.KindDeliver), r.DeliveredData)
+	}
+	// The log round-trips through JSONL.
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, n.Trace.Events()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := trace.ReadJSONL(&buf)
+	if err != nil || len(back) != len(n.Trace.Events()) {
+		t.Fatalf("round trip: %v, %d events", err, len(back))
+	}
+	// Per-flow view: flow 0 has start, deliveries, done — in time order.
+	f0 := trace.ByFlow(n.Trace.Events(), 0)
+	if len(f0) < 3 {
+		t.Fatalf("flow 0 events = %d", len(f0))
+	}
+	for i := 1; i < len(f0); i++ {
+		if f0[i].T < f0[i-1].T {
+			t.Fatal("trace not time ordered")
+		}
+	}
+}

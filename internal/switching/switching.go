@@ -1,0 +1,421 @@
+// Package switching models output-queued switches and the links between
+// nodes. Each output port owns a queue (any discipline from internal/queue)
+// and a transmitter that serializes one packet at a time at the link rate,
+// then delivers it to the peer after the propagation delay.
+//
+// The Switch forwarding path implements the paper's data plane: FIB lookup
+// with flow-level ECMP (§3), DCTCP ECN marking in the queue discipline,
+// TTL handling (§5.5.3), and — when a DIBS policy is installed — detouring
+// instead of dropping when the desired output queue is full (§2).
+package switching
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dibs/internal/core"
+	"dibs/internal/eventq"
+	"dibs/internal/packet"
+	"dibs/internal/queue"
+	"dibs/internal/topology"
+)
+
+// Handler consumes packets arriving at a node.
+type Handler interface {
+	// Receive is invoked when a packet fully arrives at the node's port.
+	Receive(p *packet.Packet, port int)
+}
+
+// DropReason classifies packet drops for the metrics layer.
+type DropReason uint8
+
+const (
+	// DropOverflow: the output queue was full and no DIBS policy was
+	// installed.
+	DropOverflow DropReason = iota
+	// DropNoDetour: the queue was full and DIBS found no eligible port
+	// (all neighbors full — the §5.7 breaking regime), or TTL budget
+	// exhausted detour options.
+	DropNoDetour
+	// DropTTL: the packet's TTL reached zero.
+	DropTTL
+	// DropNoRoute: the FIB had no entry for the destination.
+	DropNoRoute
+	// DropEvicted: a pFabric queue evicted this lower-priority packet.
+	DropEvicted
+	numDropReasons
+)
+
+// NumDropReasons is the number of distinct drop reasons.
+const NumDropReasons = int(numDropReasons)
+
+func (r DropReason) String() string {
+	switch r {
+	case DropOverflow:
+		return "overflow"
+	case DropNoDetour:
+		return "no-detour"
+	case DropTTL:
+		return "ttl"
+	case DropNoRoute:
+		return "no-route"
+	case DropEvicted:
+		return "evicted"
+	default:
+		return fmt.Sprintf("DropReason(%d)", uint8(r))
+	}
+}
+
+// Hooks are optional observation callbacks; nil fields are skipped. They
+// exist for the metrics layer and must not mutate packets.
+type Hooks struct {
+	// OnDrop fires when node discards p for the given reason.
+	OnDrop func(node packet.NodeID, p *packet.Packet, reason DropReason)
+	// OnDetour fires when node detours p: the FIB wanted desired, DIBS
+	// chose chosen.
+	OnDetour func(node packet.NodeID, p *packet.Packet, desired, chosen int)
+	// OnDeliver fires when a host receives p (wired by the host layer).
+	OnDeliver func(node packet.NodeID, p *packet.Packet)
+}
+
+// OutPort is one output port: a queue plus a store-and-forward transmitter
+// attached to a link.
+type OutPort struct {
+	sched    *eventq.Scheduler
+	Q        queue.Queue
+	rateBps  int64
+	delay    eventq.Time
+	peer     Handler
+	peerPort int
+	busy     bool
+
+	// jitter, when non-nil with jitterMax > 0, adds a uniform random
+	// per-packet delivery delay in [0, jitterMax). Identical self-clocked
+	// flows otherwise phase-lock on the deterministic ECN threshold and
+	// share bandwidth unfairly — an artifact real switches' variable
+	// pipeline latency prevents.
+	jitter    *rand.Rand
+	jitterMax eventq.Time
+	// lastArrival keeps deliveries FIFO under jitter.
+	lastArrival eventq.Time
+
+	// paused stops the transmitter from starting new packets (Ethernet
+	// flow control); the in-flight serialization always completes.
+	paused bool
+	// OnEnqueue, when set, observes every accepted packet after it is
+	// queued but before the transmitter may pick it up; OnDequeue
+	// observes every packet leaving the queue for the wire. Ethernet
+	// flow control uses the pair for ingress buffer accounting.
+	OnEnqueue func(p *packet.Packet)
+	OnDequeue func(p *packet.Packet)
+
+	// PausedTime accumulates how long the port sat paused with a
+	// non-empty queue (head-of-line blocking metric).
+	PausedTime  eventq.Time
+	pausedSince eventq.Time
+
+	// TxPackets and TxBytes count fully transmitted packets.
+	TxPackets uint64
+	TxBytes   uint64
+	// BusyTime accumulates serialization time, for utilization metrics.
+	BusyTime eventq.Time
+}
+
+// NewOutPort creates a port transmitting at rateBps with one-way
+// propagation delay, delivering into peer at peerPort.
+func NewOutPort(sched *eventq.Scheduler, q queue.Queue, rateBps int64, delay eventq.Time, peer Handler, peerPort int) *OutPort {
+	if rateBps <= 0 {
+		panic("switching: rate must be positive")
+	}
+	return &OutPort{sched: sched, Q: q, rateBps: rateBps, delay: delay, peer: peer, peerPort: peerPort}
+}
+
+// SetPeer rewires the port's receiving end (used during network assembly).
+func (o *OutPort) SetPeer(peer Handler, peerPort int) {
+	o.peer = peer
+	o.peerPort = peerPort
+}
+
+// SetJitter enables uniform per-packet delivery jitter in [0, max), drawn
+// from rng. Pass max 0 to disable.
+func (o *OutPort) SetJitter(rng *rand.Rand, max eventq.Time) {
+	o.jitter = rng
+	o.jitterMax = max
+}
+
+// SerializationTime returns how long a packet of the given wire size
+// occupies the transmitter.
+func (o *OutPort) SerializationTime(bytes int) eventq.Time {
+	return eventq.Time(int64(bytes) * 8 * int64(eventq.Second) / o.rateBps)
+}
+
+// RateBps returns the link rate.
+func (o *OutPort) RateBps() int64 { return o.rateBps }
+
+// Enqueue offers p to the port's queue and starts the transmitter if idle.
+func (o *OutPort) Enqueue(p *packet.Packet) queue.Result {
+	r := o.Q.Enqueue(p)
+	if r.Accepted {
+		if o.OnEnqueue != nil {
+			o.OnEnqueue(p)
+		}
+		o.kick()
+	}
+	return r
+}
+
+// SetPaused pauses or resumes the transmitter (Ethernet flow control).
+func (o *OutPort) SetPaused(paused bool) {
+	if o.paused == paused {
+		return
+	}
+	o.paused = paused
+	if paused {
+		o.pausedSince = o.sched.Now()
+		return
+	}
+	o.PausedTime += o.sched.Now() - o.pausedSince
+	o.kick()
+}
+
+// Paused reports whether the transmitter is flow-control paused.
+func (o *OutPort) Paused() bool { return o.paused }
+
+// kick starts transmitting the head-of-queue packet if the port is idle.
+func (o *OutPort) kick() {
+	if o.busy || o.paused {
+		return
+	}
+	p := o.Q.Dequeue()
+	if p == nil {
+		return
+	}
+	if o.OnDequeue != nil {
+		o.OnDequeue(p)
+	}
+	o.busy = true
+	ser := o.SerializationTime(p.Size())
+	o.BusyTime += ser
+	o.sched.After(ser, func() {
+		o.busy = false
+		o.TxPackets++
+		o.TxBytes += uint64(p.Size())
+		at := o.sched.Now() + o.delay
+		if o.jitterMax > 0 {
+			at += eventq.Time(o.jitter.Int63n(int64(o.jitterMax)))
+		}
+		if at < o.lastArrival {
+			at = o.lastArrival // keep the link FIFO under jitter
+		}
+		o.lastArrival = at
+		o.sched.At(at, func() {
+			o.peer.Receive(p, o.peerPort)
+		})
+		o.kick()
+	})
+}
+
+// Switch is an output-queued switch.
+type Switch struct {
+	ID    packet.NodeID
+	topo  *topology.Topology
+	ports []*OutPort
+
+	policy core.Policy
+	early  core.EarlyDetourer // non-nil when policy supports early detours
+	// MarkDetours sets CE on detoured packets (paper §5.3: detoured
+	// packets are also marked). Enabled for ECN transports.
+	MarkDetours bool
+	// PacketSpray switches ECMP from flow-level to packet-level: each
+	// packet picks a uniform random shortest-path next hop. §6 argues
+	// even this cannot relieve incast (the last hop has one path); it is
+	// implemented to quantify that claim.
+	PacketSpray bool
+
+	rng   *rand.Rand
+	seed  uint64 // per-switch ECMP hash seed
+	hooks *Hooks
+	// pfc is non-nil when Ethernet flow control is enabled (§6
+	// comparison); see pfc.go.
+	pfc *pfcState
+
+	// Counters, indexable by DropReason.
+	Drops     [NumDropReasons]uint64
+	Detours   uint64
+	RxPackets uint64
+}
+
+// NewSwitch creates a switch for node id of topo. ports must be indexed
+// identically to topo.Ports(id). policy may be nil for plain drop-tail
+// behavior. hooks may be nil.
+func NewSwitch(id packet.NodeID, topo *topology.Topology, ports []*OutPort, policy core.Policy, rng *rand.Rand, hooks *Hooks) *Switch {
+	if len(ports) != len(topo.Ports(id)) {
+		panic(fmt.Sprintf("switching: switch %d has %d ports, topology says %d",
+			id, len(ports), len(topo.Ports(id))))
+	}
+	s := &Switch{
+		ID:     id,
+		topo:   topo,
+		ports:  ports,
+		policy: policy,
+		rng:    rng,
+		seed:   core.FlowHash(packet.FlowID(id), 0xD1B5) | 1,
+		hooks:  hooks,
+	}
+	if ed, ok := policy.(core.EarlyDetourer); ok {
+		s.early = ed
+	}
+	return s
+}
+
+// Ports exposes the switch's output ports (for metrics sampling).
+func (s *Switch) Ports() []*OutPort { return s.ports }
+
+// --- core.SwitchView implementation ---
+
+// NumPorts implements core.SwitchView.
+func (s *Switch) NumPorts() int { return len(s.ports) }
+
+// IsHostPort implements core.SwitchView.
+func (s *Switch) IsHostPort(port int) bool { return s.topo.IsHostPort(s.ID, port) }
+
+// QueueFull implements core.SwitchView.
+func (s *Switch) QueueFull(port int) bool { return s.ports[port].Q.Full() }
+
+// QueueLen implements core.SwitchView.
+func (s *Switch) QueueLen(port int) int { return s.ports[port].Q.Len() }
+
+// QueueCap implements core.SwitchView.
+func (s *Switch) QueueCap(port int) int {
+	if c, ok := s.ports[port].Q.(interface{ Capacity() int }); ok {
+		return c.Capacity()
+	}
+	return 0
+}
+
+// Receive implements Handler: the switch forwarding path.
+func (s *Switch) Receive(p *packet.Packet, inPort int) {
+	s.RxPackets++
+	p.Hops++
+	p.TTL--
+	if p.TTL <= 0 {
+		s.drop(p, DropTTL)
+		return
+	}
+	nhs := s.topo.NextHops(s.ID, p.Dst)
+	if len(nhs) == 0 {
+		s.drop(p, DropNoRoute)
+		return
+	}
+	// Flow-level ECMP by default: all packets of a flow take the same
+	// next hop at this switch (§3). Packet spraying randomizes per packet.
+	var desired int
+	if s.PacketSpray && len(nhs) > 1 {
+		desired = int(nhs[s.rng.Intn(len(nhs))])
+	} else {
+		desired = int(nhs[core.FlowHash(p.Flow, s.seed)%uint64(len(nhs))])
+	}
+
+	// §7 probabilistic policies may detour before the queue is full.
+	if s.early != nil && !s.ports[desired].Q.Full() &&
+		s.early.ShouldDetourEarly(s, p, desired, s.rng) {
+		if d := s.policy.SelectDetour(s, p, desired, s.rng); d >= 0 {
+			s.detour(p, desired, d)
+			return
+		}
+	}
+
+	if s.pfc != nil {
+		p.Ingress = inPort
+	}
+	r := s.ports[desired].Enqueue(p)
+	if r.Accepted {
+		s.trace(p, desired, false)
+		if r.Evicted != nil {
+			s.drop(r.Evicted, DropEvicted)
+		}
+		return
+	}
+	if s.policy == nil {
+		s.drop(p, DropOverflow)
+		return
+	}
+	d := s.policy.SelectDetour(s, p, desired, s.rng)
+	if d < 0 {
+		// Every neighbor's buffer is full too: the §5.7 breaking regime.
+		s.drop(p, DropNoDetour)
+		return
+	}
+	s.detour(p, desired, d)
+}
+
+// detour forwards p out port d instead of the full desired port.
+func (s *Switch) detour(p *packet.Packet, desired, d int) {
+	p.Detours++
+	if s.MarkDetours {
+		p.CE = true
+	}
+	s.Detours++
+	if s.hooks != nil && s.hooks.OnDetour != nil {
+		s.hooks.OnDetour(s.ID, p, desired, d)
+	}
+	r := s.ports[d].Enqueue(p)
+	if !r.Accepted {
+		// The policy verified the queue had room; in a single-threaded
+		// simulator this cannot race, so refusal is a policy bug.
+		panic(fmt.Sprintf("switching: detour port %d on switch %d refused packet", d, s.ID))
+	}
+	s.trace(p, d, true)
+	if r.Evicted != nil {
+		s.drop(r.Evicted, DropEvicted)
+	}
+}
+
+func (s *Switch) trace(p *packet.Packet, port int, detoured bool) {
+	if p.Trace != nil {
+		p.Trace = append(p.Trace, packet.TraceHop{Node: s.ID, Port: port, Detoured: detoured})
+	}
+}
+
+func (s *Switch) drop(p *packet.Packet, reason DropReason) {
+	s.Drops[reason]++
+	if s.hooks != nil && s.hooks.OnDrop != nil {
+		s.hooks.OnDrop(s.ID, p, reason)
+	}
+}
+
+// TotalDrops sums drops across reasons.
+func (s *Switch) TotalDrops() uint64 {
+	var t uint64
+	for _, d := range s.Drops {
+		t += d
+	}
+	return t
+}
+
+// QueuedPackets counts packets buffered across all output queues (for
+// conservation checks).
+func (s *Switch) QueuedPackets() int {
+	total := 0
+	for _, op := range s.ports {
+		total += op.Q.Len()
+	}
+	return total
+}
+
+// Node is the common surface of the switch architectures (output-queued
+// Switch and CIOQSwitch) that the network assembly and monitors rely on.
+type Node interface {
+	Handler
+	// Ports returns the egress ports.
+	Ports() []*OutPort
+	// QueuedPackets counts packets buffered anywhere in the switch.
+	QueuedPackets() int
+	// TotalDrops sums packet drops.
+	TotalDrops() uint64
+}
+
+var (
+	_ Node = (*Switch)(nil)
+	_ Node = (*CIOQSwitch)(nil)
+)

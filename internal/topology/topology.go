@@ -1,0 +1,538 @@
+// Package topology models data center network topologies as graphs of hosts
+// and switches joined by full-duplex links, and computes shortest-path
+// forwarding tables (FIBs) with ECMP next-hop sets.
+//
+// Builders are provided for the topologies in the DIBS paper: the K-ary
+// fat-tree used for the NS-3 simulations (§5.3), the small Click/Emulab
+// testbed tree (§5.2), and — for the §7 discussion of detouring on other
+// topologies — JellyFish, HyperX and a linear chain.
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dibs/internal/eventq"
+	"dibs/internal/packet"
+)
+
+// NodeKind distinguishes hosts from switches.
+type NodeKind uint8
+
+const (
+	// Host is an end host: single NIC, runs transport endpoints.
+	Host NodeKind = iota
+	// Switch forwards packets between its ports.
+	Switch
+)
+
+func (k NodeKind) String() string {
+	if k == Host {
+		return "host"
+	}
+	return "switch"
+}
+
+// Layer identifies a switch's layer in layered topologies (fat-tree, Click
+// testbed). Non-layered topologies use LayerNone.
+type Layer uint8
+
+const (
+	LayerNone Layer = iota
+	LayerEdge
+	LayerAggr
+	LayerCore
+)
+
+func (l Layer) String() string {
+	switch l {
+	case LayerEdge:
+		return "edge"
+	case LayerAggr:
+		return "aggr"
+	case LayerCore:
+		return "core"
+	default:
+		return "none"
+	}
+}
+
+// Node is a vertex of the topology.
+type Node struct {
+	ID    packet.NodeID
+	Kind  NodeKind
+	Name  string
+	Layer Layer
+	Pod   int // pod index in fat-tree; -1 elsewhere
+}
+
+// Port describes one direction of attachment of a node to a link.
+type Port struct {
+	Peer     packet.NodeID // node on the other end
+	PeerPort int           // port index at the peer
+	RateBps  int64         // link bandwidth in bits/second (per direction)
+	Delay    eventq.Time   // one-way propagation delay
+}
+
+// Topology is an immutable graph plus the derived routing state.
+type Topology struct {
+	Name  string
+	nodes []Node
+	ports [][]Port // ports[node][port]
+
+	hosts    []packet.NodeID // all host node IDs, in construction order
+	switches []packet.NodeID
+	hostIdx  map[packet.NodeID]int // host NodeID -> dense index
+
+	hostPortMask []uint64 // per node: bitmap of ports that face a host
+
+	// fib[node][hostIdx] = shortest-path output ports toward that host.
+	fib [][][]uint8
+	// dist[node][hostIdx] = hop distance (switch hops + final host link).
+	dist [][]int16
+}
+
+// builder accumulates nodes and links before Finalize.
+type builder struct {
+	name  string
+	nodes []Node
+	ports [][]Port
+}
+
+func newBuilder(name string) *builder {
+	return &builder{name: name}
+}
+
+func (b *builder) addNode(kind NodeKind, name string, layer Layer, pod int) packet.NodeID {
+	id := packet.NodeID(len(b.nodes))
+	b.nodes = append(b.nodes, Node{ID: id, Kind: kind, Name: name, Layer: layer, Pod: pod})
+	b.ports = append(b.ports, nil)
+	return id
+}
+
+// link connects a and b with a bidirectional link. Port indices are assigned
+// in call order.
+func (b *builder) link(a, bb packet.NodeID, rateBps int64, delay eventq.Time) {
+	ap := len(b.ports[a])
+	bp := len(b.ports[bb])
+	b.ports[a] = append(b.ports[a], Port{Peer: bb, PeerPort: bp, RateBps: rateBps, Delay: delay})
+	b.ports[bb] = append(b.ports[bb], Port{Peer: a, PeerPort: ap, RateBps: rateBps, Delay: delay})
+}
+
+// finalize freezes the graph and computes routing tables.
+func (b *builder) finalize() *Topology {
+	t := &Topology{
+		Name:    b.name,
+		nodes:   b.nodes,
+		ports:   b.ports,
+		hostIdx: make(map[packet.NodeID]int),
+	}
+	for _, n := range b.nodes {
+		if n.Kind == Host {
+			t.hostIdx[n.ID] = len(t.hosts)
+			t.hosts = append(t.hosts, n.ID)
+		} else {
+			t.switches = append(t.switches, n.ID)
+		}
+	}
+	t.hostPortMask = make([]uint64, len(t.nodes))
+	for id, ports := range t.ports {
+		if len(ports) > 64 {
+			panic(fmt.Sprintf("topology: node %d has %d ports; max 64", id, len(ports)))
+		}
+		for pi, p := range ports {
+			if t.nodes[p.Peer].Kind == Host {
+				t.hostPortMask[id] |= 1 << uint(pi)
+			}
+		}
+	}
+	t.computeRoutes()
+	return t
+}
+
+// computeRoutes runs one BFS per destination host over the whole graph and
+// records, for every node, the set of output ports on shortest paths.
+func (t *Topology) computeRoutes() {
+	n := len(t.nodes)
+	h := len(t.hosts)
+	t.fib = make([][][]uint8, n)
+	t.dist = make([][]int16, n)
+	for i := range t.fib {
+		t.fib[i] = make([][]uint8, h)
+		t.dist[i] = make([]int16, h)
+		for j := range t.dist[i] {
+			t.dist[i][j] = -1
+		}
+	}
+	queue := make([]packet.NodeID, 0, n)
+	for hi, dst := range t.hosts {
+		// BFS from the destination host; dist counts links to dst.
+		queue = queue[:0]
+		queue = append(queue, dst)
+		t.dist[dst][hi] = 0
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			d := t.dist[cur][hi]
+			for _, p := range t.ports[cur] {
+				// Hosts do not forward transit traffic: only the
+				// destination itself may be traversed "through" a host,
+				// so BFS never expands out of a non-destination host.
+				if t.nodes[cur].Kind == Host && cur != dst {
+					continue
+				}
+				if t.dist[p.Peer][hi] == -1 {
+					t.dist[p.Peer][hi] = d + 1
+					queue = append(queue, p.Peer)
+				}
+			}
+		}
+		// Next hops: ports leading to a strictly closer neighbor.
+		for id := 0; id < n; id++ {
+			if t.dist[id][hi] <= 0 {
+				continue // unreachable or the destination itself
+			}
+			for pi, p := range t.ports[id] {
+				if t.nodes[p.Peer].Kind == Host && p.Peer != dst {
+					continue
+				}
+				if t.dist[p.Peer][hi] == t.dist[id][hi]-1 {
+					t.fib[id][hi] = append(t.fib[id][hi], uint8(pi))
+				}
+			}
+		}
+	}
+}
+
+// --- accessors ---
+
+// NumNodes returns the total node count.
+func (t *Topology) NumNodes() int { return len(t.nodes) }
+
+// Node returns the node descriptor for id.
+func (t *Topology) Node(id packet.NodeID) Node { return t.nodes[id] }
+
+// Hosts returns all host IDs in construction order. The slice must not be
+// modified.
+func (t *Topology) Hosts() []packet.NodeID { return t.hosts }
+
+// Switches returns all switch IDs in construction order.
+func (t *Topology) Switches() []packet.NodeID { return t.switches }
+
+// Ports returns the port table of a node. The slice must not be modified.
+func (t *Topology) Ports(id packet.NodeID) []Port { return t.ports[id] }
+
+// HostIndex returns the dense index of a host node, used as the FIB key.
+func (t *Topology) HostIndex(id packet.NodeID) int {
+	hi, ok := t.hostIdx[id]
+	if !ok {
+		panic(fmt.Sprintf("topology: node %d is not a host", id))
+	}
+	return hi
+}
+
+// NextHops returns the ECMP set of output ports at node leading along
+// shortest paths to dst (a host). Empty when unreachable.
+func (t *Topology) NextHops(node, dst packet.NodeID) []uint8 {
+	return t.fib[node][t.hostIdx[dst]]
+}
+
+// Distance returns the hop count (number of links) from node to host dst,
+// or -1 if unreachable.
+func (t *Topology) Distance(node, dst packet.NodeID) int {
+	return int(t.dist[node][t.hostIdx[dst]])
+}
+
+// HostPortMask returns the bitmap of host-facing ports at node: bit i set
+// means port i attaches to an end host. DIBS must never detour to those.
+func (t *Topology) HostPortMask(id packet.NodeID) uint64 { return t.hostPortMask[id] }
+
+// IsHostPort reports whether port pi of node faces an end host.
+func (t *Topology) IsHostPort(id packet.NodeID, pi int) bool {
+	return t.hostPortMask[id]&(1<<uint(pi)) != 0
+}
+
+// Diameter returns the maximum finite host-to-host distance.
+func (t *Topology) Diameter() int {
+	max := 0
+	for _, h := range t.hosts {
+		for _, g := range t.hosts {
+			if d := t.Distance(h, g); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// Neighbors returns the switch neighbors of a switch (deduplicated).
+func (t *Topology) Neighbors(id packet.NodeID) []packet.NodeID {
+	seen := make(map[packet.NodeID]bool)
+	var out []packet.NodeID
+	for _, p := range t.ports[id] {
+		if t.nodes[p.Peer].Kind == Switch && !seen[p.Peer] {
+			seen[p.Peer] = true
+			out = append(out, p.Peer)
+		}
+	}
+	return out
+}
+
+// --- builders ---
+
+// LinkSpec bundles the physical parameters of links.
+type LinkSpec struct {
+	RateBps int64
+	Delay   eventq.Time
+}
+
+// DefaultLink is the paper's setting: 1 Gbps with a small DC propagation
+// delay.
+var DefaultLink = LinkSpec{RateBps: 1_000_000_000, Delay: 1500 * eventq.Nanosecond}
+
+// FatTree builds a K-ary fat-tree (K even): K pods, each with K/2 edge and
+// K/2 aggregation switches; (K/2)^2 core switches; K/2 hosts per edge
+// switch, for K^3/4 hosts total. All links use spec. oversub divides the
+// capacity of switch-to-switch links (paper §5.5.4: factor f gives 1:f^2
+// oversubscription); pass 1 for a full-bisection tree.
+func FatTree(k int, spec LinkSpec, oversub int) *Topology {
+	if k < 2 || k%2 != 0 {
+		panic(fmt.Sprintf("topology: fat-tree K must be even and >= 2, got %d", k))
+	}
+	if oversub < 1 {
+		panic("topology: oversub must be >= 1")
+	}
+	b := newBuilder(fmt.Sprintf("fattree-k%d", k))
+	half := k / 2
+	up := LinkSpec{RateBps: spec.RateBps / int64(oversub), Delay: spec.Delay}
+
+	core := make([]packet.NodeID, half*half)
+	for i := range core {
+		core[i] = b.addNode(Switch, fmt.Sprintf("core-%d", i), LayerCore, -1)
+	}
+	for pod := 0; pod < k; pod++ {
+		aggr := make([]packet.NodeID, half)
+		edge := make([]packet.NodeID, half)
+		for a := 0; a < half; a++ {
+			aggr[a] = b.addNode(Switch, fmt.Sprintf("aggr-%d-%d", pod, a), LayerAggr, pod)
+		}
+		for e := 0; e < half; e++ {
+			edge[e] = b.addNode(Switch, fmt.Sprintf("edge-%d-%d", pod, e), LayerEdge, pod)
+		}
+		// Aggr a connects to core switches [a*half, (a+1)*half).
+		for a := 0; a < half; a++ {
+			for c := 0; c < half; c++ {
+				b.link(aggr[a], core[a*half+c], up.RateBps, up.Delay)
+			}
+		}
+		// Full bipartite edge<->aggr within the pod.
+		for e := 0; e < half; e++ {
+			for a := 0; a < half; a++ {
+				b.link(edge[e], aggr[a], up.RateBps, up.Delay)
+			}
+		}
+		// Hosts.
+		for e := 0; e < half; e++ {
+			for h := 0; h < half; h++ {
+				hid := b.addNode(Host, fmt.Sprintf("host-%d-%d-%d", pod, e, h), LayerNone, pod)
+				b.link(edge[e], hid, spec.RateBps, spec.Delay)
+			}
+		}
+	}
+	return b.finalize()
+}
+
+// ClickTestbed builds the Emulab topology of §5.2: two aggregation switches,
+// three edge switches (each connected to both aggregates), and two hosts per
+// edge switch.
+func ClickTestbed(spec LinkSpec) *Topology {
+	b := newBuilder("click-testbed")
+	aggr := []packet.NodeID{
+		b.addNode(Switch, "aggr-0", LayerAggr, 0),
+		b.addNode(Switch, "aggr-1", LayerAggr, 0),
+	}
+	for e := 0; e < 3; e++ {
+		edge := b.addNode(Switch, fmt.Sprintf("edge-%d", e), LayerEdge, 0)
+		for _, a := range aggr {
+			b.link(edge, a, spec.RateBps, spec.Delay)
+		}
+		for h := 0; h < 2; h++ {
+			hid := b.addNode(Host, fmt.Sprintf("host-%d-%d", e, h), LayerNone, 0)
+			b.link(edge, hid, spec.RateBps, spec.Delay)
+		}
+	}
+	return b.finalize()
+}
+
+// Linear builds a chain of n switches with hostsPer hosts on each — the
+// degenerate topology of the paper's footnote 10, where DIBS can only detour
+// backwards along the chain.
+func Linear(n, hostsPer int, spec LinkSpec) *Topology {
+	if n < 1 {
+		panic("topology: linear needs >= 1 switch")
+	}
+	b := newBuilder(fmt.Sprintf("linear-%d", n))
+	sw := make([]packet.NodeID, n)
+	for i := 0; i < n; i++ {
+		sw[i] = b.addNode(Switch, fmt.Sprintf("sw-%d", i), LayerNone, -1)
+		if i > 0 {
+			b.link(sw[i-1], sw[i], spec.RateBps, spec.Delay)
+		}
+		for h := 0; h < hostsPer; h++ {
+			hid := b.addNode(Host, fmt.Sprintf("host-%d-%d", i, h), LayerNone, -1)
+			b.link(sw[i], hid, spec.RateBps, spec.Delay)
+		}
+	}
+	return b.finalize()
+}
+
+// Jellyfish builds a random regular graph of nSwitches switches with
+// switchDegree switch-to-switch ports each and hostsPer hosts per switch
+// (Singla et al.; discussed for DIBS in §7). The construction is the
+// standard random matching with local repair; it is deterministic for a
+// given seed. Random regular graphs are connected with high probability,
+// but small unlucky instances are not, so the builder retries with derived
+// seeds until the graph is connected (panicking after 50 attempts, which
+// indicates an infeasible parameter choice).
+func Jellyfish(nSwitches, switchDegree, hostsPer int, spec LinkSpec, seed int64) *Topology {
+	for attempt := 0; attempt < 50; attempt++ {
+		t := jellyfishOnce(nSwitches, switchDegree, hostsPer, spec, seed+int64(attempt)*0x9E37)
+		if t.connected() {
+			return t
+		}
+	}
+	panic("topology: jellyfish failed to produce a connected graph in 50 attempts")
+}
+
+// connected reports whether every node can reach the first host.
+func (t *Topology) connected() bool {
+	if len(t.hosts) == 0 {
+		return true
+	}
+	for id := range t.nodes {
+		if t.dist[id][0] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func jellyfishOnce(nSwitches, switchDegree, hostsPer int, spec LinkSpec, seed int64) *Topology {
+	if nSwitches*switchDegree%2 != 0 {
+		panic("topology: jellyfish nSwitches*switchDegree must be even")
+	}
+	if switchDegree >= nSwitches {
+		panic("topology: jellyfish degree must be < nSwitches")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := newBuilder(fmt.Sprintf("jellyfish-%d-%d", nSwitches, switchDegree))
+	sw := make([]packet.NodeID, nSwitches)
+	for i := range sw {
+		sw[i] = b.addNode(Switch, fmt.Sprintf("sw-%d", i), LayerNone, -1)
+	}
+
+	// Random matching over port stubs, retrying to avoid self-loops and
+	// parallel edges; falls back to edge swaps when stuck.
+	adj := make([]map[int]bool, nSwitches)
+	deg := make([]int, nSwitches)
+	for i := range adj {
+		adj[i] = make(map[int]bool)
+	}
+	type edge struct{ a, b int }
+	var edges []edge
+	stubs := make([]int, 0, nSwitches*switchDegree)
+	for i := 0; i < nSwitches; i++ {
+		for d := 0; d < switchDegree; d++ {
+			stubs = append(stubs, i)
+		}
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	connect := func(a, bb int) {
+		adj[a][bb] = true
+		adj[bb][a] = true
+		deg[a]++
+		deg[bb]++
+		edges = append(edges, edge{a, bb})
+	}
+	var leftover []int
+	for len(stubs) >= 2 {
+		a := stubs[len(stubs)-1]
+		bb := stubs[len(stubs)-2]
+		stubs = stubs[:len(stubs)-2]
+		if a == bb || adj[a][bb] {
+			leftover = append(leftover, a, bb)
+			continue
+		}
+		connect(a, bb)
+	}
+	// Repair leftovers by swapping with a random existing edge.
+	for i := 0; i+1 < len(leftover); i += 2 {
+		a, bb := leftover[i], leftover[i+1]
+		repaired := false
+		for try := 0; try < 100*len(edges) && !repaired; try++ {
+			ei := rng.Intn(len(edges))
+			e := edges[ei]
+			// Replace (e.a,e.b) with (a,e.a) and (bb,e.b) if valid.
+			if a != e.a && bb != e.b && !adj[a][e.a] && !adj[bb][e.b] && a != bb {
+				delete(adj[e.a], e.b)
+				delete(adj[e.b], e.a)
+				deg[e.a]--
+				deg[e.b]--
+				edges[ei] = edges[len(edges)-1]
+				edges = edges[:len(edges)-1]
+				connect(a, e.a)
+				connect(bb, e.b)
+				repaired = true
+			}
+		}
+		// If repair failed the graph simply has two fewer links; Jellyfish
+		// tolerates slight irregularity.
+	}
+	for _, e := range edges {
+		b.link(sw[e.a], sw[e.b], spec.RateBps, spec.Delay)
+	}
+	for i := 0; i < nSwitches; i++ {
+		for h := 0; h < hostsPer; h++ {
+			hid := b.addNode(Host, fmt.Sprintf("host-%d-%d", i, h), LayerNone, -1)
+			b.link(sw[i], hid, spec.RateBps, spec.Delay)
+		}
+	}
+	return b.finalize()
+}
+
+// HyperX builds a 2-D HyperX: an sx-by-sy grid of switches where every
+// switch links directly to every other switch sharing a row or column
+// (Ahn et al.; discussed for DIBS in §7). hostsPer hosts attach per switch.
+func HyperX(sx, sy, hostsPer int, spec LinkSpec) *Topology {
+	if sx < 1 || sy < 1 {
+		panic("topology: hyperx dims must be >= 1")
+	}
+	b := newBuilder(fmt.Sprintf("hyperx-%dx%d", sx, sy))
+	sw := make([][]packet.NodeID, sx)
+	for x := 0; x < sx; x++ {
+		sw[x] = make([]packet.NodeID, sy)
+		for y := 0; y < sy; y++ {
+			sw[x][y] = b.addNode(Switch, fmt.Sprintf("sw-%d-%d", x, y), LayerNone, -1)
+		}
+	}
+	for x := 0; x < sx; x++ {
+		for y := 0; y < sy; y++ {
+			// Row links to higher x; column links to higher y.
+			for x2 := x + 1; x2 < sx; x2++ {
+				b.link(sw[x][y], sw[x2][y], spec.RateBps, spec.Delay)
+			}
+			for y2 := y + 1; y2 < sy; y2++ {
+				b.link(sw[x][y], sw[x][y2], spec.RateBps, spec.Delay)
+			}
+		}
+	}
+	for x := 0; x < sx; x++ {
+		for y := 0; y < sy; y++ {
+			for h := 0; h < hostsPer; h++ {
+				hid := b.addNode(Host, fmt.Sprintf("host-%d-%d-%d", x, y, h), LayerNone, -1)
+				b.link(sw[x][y], hid, spec.RateBps, spec.Delay)
+			}
+		}
+	}
+	return b.finalize()
+}

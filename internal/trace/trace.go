@@ -1,0 +1,208 @@
+// Package trace records simulation events as a structured, bounded log
+// that can be written to and read back from JSON Lines. It backs the
+// paper's packet-level illustrations (Figures 1-2) and gives experiments a
+// way to post-mortem detour storms: every drop, detour, delivery and flow
+// transition carries its virtual timestamp and location.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dibs/internal/eventq"
+	"dibs/internal/packet"
+)
+
+// Kind classifies events.
+type Kind uint8
+
+const (
+	// KindSend: a host emitted a data packet.
+	KindSend Kind = iota
+	// KindDeliver: a host received a data packet.
+	KindDeliver
+	// KindDrop: a switch discarded a packet.
+	KindDrop
+	// KindDetour: a switch detoured a packet (DIBS).
+	KindDetour
+	// KindFlowStart / KindFlowDone: flow lifecycle.
+	KindFlowStart
+	KindFlowDone
+	// KindQueryStart / KindQueryDone: query (incast) lifecycle.
+	KindQueryStart
+	KindQueryDone
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"send", "deliver", "drop", "detour",
+	"flow-start", "flow-done", "query-start", "query-done",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// KindFromString parses a kind name; ok is false for unknown names.
+func KindFromString(s string) (Kind, bool) {
+	for i, n := range kindNames {
+		if n == s {
+			return Kind(i), true
+		}
+	}
+	return 0, false
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	// T is the virtual time in nanoseconds.
+	T eventq.Time `json:"t"`
+	// Kind names the event type (serialized as its string form).
+	Kind Kind `json:"-"`
+	// Node is where it happened (switch or host), -1 if n/a.
+	Node packet.NodeID `json:"node"`
+	// Flow is the affected flow, -1 if n/a.
+	Flow packet.FlowID `json:"flow"`
+	// Seq is the packet byte offset, -1 if n/a.
+	Seq int64 `json:"seq"`
+	// Detail carries kind-specific context (drop reason, detour ports,
+	// query id).
+	Detail string `json:"detail,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler with the kind as a string.
+func (e Event) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		T      int64         `json:"t"`
+		Kind   string        `json:"kind"`
+		Node   packet.NodeID `json:"node"`
+		Flow   packet.FlowID `json:"flow"`
+		Seq    int64         `json:"seq"`
+		Detail string        `json:"detail,omitempty"`
+	}{int64(e.T), e.Kind.String(), e.Node, e.Flow, e.Seq, e.Detail})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (e *Event) UnmarshalJSON(data []byte) error {
+	var ej struct {
+		T      int64         `json:"t"`
+		Kind   string        `json:"kind"`
+		Node   packet.NodeID `json:"node"`
+		Flow   packet.FlowID `json:"flow"`
+		Seq    int64         `json:"seq"`
+		Detail string        `json:"detail"`
+	}
+	if err := json.Unmarshal(data, &ej); err != nil {
+		return err
+	}
+	k, ok := KindFromString(ej.Kind)
+	if !ok {
+		return fmt.Errorf("trace: unknown event kind %q", ej.Kind)
+	}
+	*e = Event{T: eventq.Time(ej.T), Kind: k, Node: ej.Node, Flow: ej.Flow, Seq: ej.Seq, Detail: ej.Detail}
+	return nil
+}
+
+// Recorder accumulates events up to a cap; further events are counted but
+// discarded, so a detour storm cannot exhaust memory.
+type Recorder struct {
+	max     int
+	events  []Event
+	Dropped int // events discarded after the cap
+	counts  [numKinds]uint64
+}
+
+// NewRecorder creates a recorder holding at most max events (<=0 means a
+// generous default of 1M).
+func NewRecorder(max int) *Recorder {
+	if max <= 0 {
+		max = 1 << 20
+	}
+	return &Recorder{max: max}
+}
+
+// Record appends an event.
+func (r *Recorder) Record(e Event) {
+	if int(e.Kind) < len(r.counts) {
+		r.counts[e.Kind]++
+	}
+	if len(r.events) >= r.max {
+		r.Dropped++
+		return
+	}
+	r.events = append(r.events, e)
+}
+
+// Events returns the recorded events (not a copy; do not modify).
+func (r *Recorder) Events() []Event { return r.events }
+
+// Count returns how many events of kind were recorded (including any
+// discarded past the cap).
+func (r *Recorder) Count(kind Kind) uint64 { return r.counts[kind] }
+
+// Filter returns the events satisfying pred.
+func Filter(events []Event, pred func(Event) bool) []Event {
+	var out []Event
+	for _, e := range events {
+		if pred(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ByFlow returns the events of one flow, in time order.
+func ByFlow(events []Event, flow packet.FlowID) []Event {
+	return Filter(events, func(e Event) bool { return e.Flow == flow })
+}
+
+// Between returns events with lo <= T < hi.
+func Between(events []Event, lo, hi eventq.Time) []Event {
+	return Filter(events, func(e Event) bool { return e.T >= lo && e.T < hi })
+}
+
+// WriteJSONL writes events one JSON object per line.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range events {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSONL stream produced by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	dec := json.NewDecoder(r)
+	for {
+		var e Event
+		if err := dec.Decode(&e); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+}
+
+// Summary renders per-kind counts.
+func (r *Recorder) Summary() string {
+	s := ""
+	for k := Kind(0); k < numKinds; k++ {
+		if r.counts[k] > 0 {
+			s += fmt.Sprintf("%s=%d ", k, r.counts[k])
+		}
+	}
+	if r.Dropped > 0 {
+		s += fmt.Sprintf("(truncated, %d beyond cap)", r.Dropped)
+	}
+	return s
+}

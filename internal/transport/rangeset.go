@@ -1,0 +1,57 @@
+package transport
+
+// rangeSet tracks received byte ranges [lo, hi) of a flow, merging overlaps
+// so out-of-order and duplicate segments (both common under DIBS detouring
+// and go-back-N retransmission) are handled correctly.
+type rangeSet struct {
+	// ranges is sorted by lo and kept non-overlapping, non-adjacent.
+	ranges []byteRange
+}
+
+type byteRange struct{ lo, hi int64 }
+
+// add records receipt of [lo, hi).
+func (rs *rangeSet) add(lo, hi int64) {
+	if lo >= hi {
+		return
+	}
+	// Find insertion window: all ranges overlapping or adjacent to [lo,hi).
+	i := 0
+	for i < len(rs.ranges) && rs.ranges[i].hi < lo {
+		i++
+	}
+	j := i
+	for j < len(rs.ranges) && rs.ranges[j].lo <= hi {
+		if rs.ranges[j].lo < lo {
+			lo = rs.ranges[j].lo
+		}
+		if rs.ranges[j].hi > hi {
+			hi = rs.ranges[j].hi
+		}
+		j++
+	}
+	rs.ranges = append(rs.ranges[:i], append([]byteRange{{lo, hi}}, rs.ranges[j:]...)...)
+}
+
+// contiguousFrom returns the highest offset h such that [from, h) is fully
+// received; returns from when the first byte is missing.
+func (rs *rangeSet) contiguousFrom(from int64) int64 {
+	for _, r := range rs.ranges {
+		if r.lo > from {
+			return from
+		}
+		if r.hi > from {
+			return r.hi
+		}
+	}
+	return from
+}
+
+// covered returns the total number of bytes recorded.
+func (rs *rangeSet) covered() int64 {
+	var n int64
+	for _, r := range rs.ranges {
+		n += r.hi - r.lo
+	}
+	return n
+}

@@ -1,0 +1,123 @@
+package transport
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRangeSetBasic(t *testing.T) {
+	var rs rangeSet
+	rs.add(0, 10)
+	if rs.contiguousFrom(0) != 10 {
+		t.Fatalf("contiguous = %d", rs.contiguousFrom(0))
+	}
+	rs.add(20, 30)
+	if rs.contiguousFrom(0) != 10 {
+		t.Fatal("gap should stop contiguity")
+	}
+	rs.add(10, 20)
+	if rs.contiguousFrom(0) != 30 {
+		t.Fatalf("merged contiguous = %d", rs.contiguousFrom(0))
+	}
+	if rs.covered() != 30 {
+		t.Fatalf("covered = %d", rs.covered())
+	}
+}
+
+func TestRangeSetOverlaps(t *testing.T) {
+	var rs rangeSet
+	rs.add(5, 15)
+	rs.add(10, 20) // overlap right
+	rs.add(0, 7)   // overlap left
+	if rs.covered() != 20 {
+		t.Fatalf("covered = %d, want 20", rs.covered())
+	}
+	if rs.contiguousFrom(0) != 20 {
+		t.Fatalf("contiguous = %d", rs.contiguousFrom(0))
+	}
+	rs.add(0, 20) // full duplicate
+	if rs.covered() != 20 {
+		t.Fatal("duplicate changed coverage")
+	}
+}
+
+func TestRangeSetEmptyAndDegenerate(t *testing.T) {
+	var rs rangeSet
+	if rs.contiguousFrom(0) != 0 || rs.covered() != 0 {
+		t.Fatal("empty set")
+	}
+	rs.add(5, 5) // degenerate
+	rs.add(7, 3) // inverted
+	if rs.covered() != 0 {
+		t.Fatal("degenerate ranges should be ignored")
+	}
+}
+
+func TestRangeSetContiguousFromMiddle(t *testing.T) {
+	var rs rangeSet
+	rs.add(0, 10)
+	rs.add(15, 25)
+	if rs.contiguousFrom(15) != 25 {
+		t.Fatalf("from 15: %d", rs.contiguousFrom(15))
+	}
+	if rs.contiguousFrom(12) != 12 {
+		t.Fatalf("from 12 (hole): %d", rs.contiguousFrom(12))
+	}
+	if rs.contiguousFrom(5) != 10 {
+		t.Fatalf("from 5: %d", rs.contiguousFrom(5))
+	}
+}
+
+// Property: inserting all MSS segments of a flow in any order yields full
+// coverage and contiguity, regardless of duplicates.
+func TestQuickRangeSetReassembly(t *testing.T) {
+	f := func(seed int64, nSegs uint8, dups uint8) bool {
+		n := int(nSegs%64) + 1
+		rng := rand.New(rand.NewSource(seed))
+		segs := rng.Perm(n)
+		// Append some duplicates.
+		for i := 0; i < int(dups%16); i++ {
+			segs = append(segs, rng.Intn(n))
+		}
+		var rs rangeSet
+		const mss = 1460
+		for _, s := range segs {
+			rs.add(int64(s)*mss, int64(s+1)*mss)
+		}
+		return rs.covered() == int64(n)*mss && rs.contiguousFrom(0) == int64(n)*mss
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: coverage is monotone non-decreasing and bounded by the span.
+func TestQuickRangeSetMonotone(t *testing.T) {
+	f := func(ops [][2]uint16) bool {
+		var rs rangeSet
+		prev := int64(0)
+		for _, op := range ops {
+			lo, hi := int64(op[0]), int64(op[1])
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			rs.add(lo, hi)
+			c := rs.covered()
+			if c < prev || c > 1<<17 {
+				return false
+			}
+			prev = c
+		}
+		// Invariant: ranges sorted, non-overlapping.
+		for i := 1; i < len(rs.ranges); i++ {
+			if rs.ranges[i-1].hi >= rs.ranges[i].lo {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,616 @@
+// Package transport implements the end-host protocols of the DIBS
+// evaluation: DCTCP (the paper's companion congestion control), classic
+// TCP-NewReno-style loss recovery, and the minimal pFabric host transport
+// of §5.8.
+//
+// A flow is a one-directional transfer of Total bytes from Src to Dst. The
+// Sender segments the byte stream into MSS-sized packets under a congestion
+// window; the Receiver reassembles (tolerating the reordering DIBS
+// introduces) and returns one cumulative ACK per data segment, echoing the
+// segment's ECN CE bit. Connections are pre-established, as in the paper's
+// testbed (§5.2 modified iperf to pre-establish TCP connections), so there
+// is no handshake.
+//
+// By default the receiver acks every segment; Config.DelayedAck enables
+// the DCTCP paper's delayed-ACK ECN-echo state machine instead. Remaining
+// simplifications relative to a kernel stack, documented in DESIGN.md:
+// go-back-N on timeout and RTT sampling via sender timestamps echoed by
+// the receiver.
+package transport
+
+import (
+	"fmt"
+
+	"dibs/internal/eventq"
+	"dibs/internal/packet"
+)
+
+// Env provides a transport endpoint's access to the simulated world.
+type Env struct {
+	// Sched is the simulation scheduler (clock + timers).
+	Sched *eventq.Scheduler
+	// Emit hands a packet to the host NIC for transmission.
+	Emit func(p *packet.Packet)
+}
+
+// Variant selects the congestion-control behavior.
+type Variant uint8
+
+const (
+	// DCTCP reacts to ECN marks with the proportional alpha-based window
+	// decrease (Alizadeh et al.); the paper couples DIBS with DCTCP.
+	DCTCP Variant = iota
+	// NewReno is loss-based TCP: no ECN reaction, standard fast
+	// retransmit and timeout behavior.
+	NewReno
+	// PFabric is the minimal transport of pFabric (§5.8): remaining-size
+	// priority stamped on every packet, a fixed small RTO, no fast
+	// retransmit, and slow-start-only window dynamics.
+	PFabric
+)
+
+func (v Variant) String() string {
+	switch v {
+	case DCTCP:
+		return "dctcp"
+	case NewReno:
+		return "newreno"
+	case PFabric:
+		return "pfabric"
+	default:
+		return fmt.Sprintf("Variant(%d)", uint8(v))
+	}
+}
+
+// Config carries the tunables from the paper's Table 1.
+type Config struct {
+	Variant Variant
+	// MSS is the maximum payload per segment (1460 for a 1500 MTU).
+	MSS int
+	// InitCwnd is the initial congestion window in packets (paper: 10).
+	InitCwnd float64
+	// MaxCwnd caps the window in packets (0 = effectively uncapped).
+	MaxCwnd float64
+	// MinRTO clamps the retransmission timeout (paper: 10 ms).
+	MinRTO eventq.Time
+	// MaxRTO caps exponential backoff.
+	MaxRTO eventq.Time
+	// DupAckThresh triggers fast retransmit; 0 disables it entirely, the
+	// paper's setting when DIBS is on (§4: reordering tolerance).
+	DupAckThresh int
+	// DCTCPGain is the alpha EWMA gain g (paper default 1/16).
+	DCTCPGain float64
+	// TTL is stamped on every emitted packet (§5.5.3 varies it).
+	TTL int
+	// FixedRTO, when nonzero, bypasses RTT estimation entirely (pFabric
+	// uses a constant 350 us at 1 Gbps).
+	FixedRTO eventq.Time
+
+	// DelayedAck enables the DCTCP paper's delayed-ACK ECN-echo state
+	// machine: the receiver coalesces up to AckEvery segments per ACK
+	// (flushing early on an AckTimeout, on flow completion, or whenever
+	// the CE state of arriving segments changes, so the echo stream
+	// remains an exact run-length encoding of the mark stream).
+	DelayedAck bool
+	// AckEvery is the delayed-ACK coalescing factor (default 2).
+	AckEvery int
+	// AckTimeout bounds how long an ACK may be withheld (default 500us).
+	AckTimeout eventq.Time
+}
+
+// DefaultConfig returns the paper's Table 1 settings for the given variant,
+// with fast retransmit disabled (the DIBS configuration). Callers enable
+// DupAckThresh explicitly for non-DIBS runs.
+func DefaultConfig(v Variant) Config {
+	c := Config{
+		Variant:      v,
+		MSS:          packet.DefaultMSS,
+		InitCwnd:     10,
+		MaxCwnd:      10000,
+		MinRTO:       10 * eventq.Millisecond,
+		MaxRTO:       2 * eventq.Second,
+		DupAckThresh: 0,
+		DCTCPGain:    1.0 / 16,
+		TTL:          packet.DefaultTTL,
+	}
+	if v == PFabric {
+		c.FixedRTO = 350 * eventq.Microsecond
+		c.MinRTO = 350 * eventq.Microsecond
+	}
+	return c
+}
+
+func (c *Config) validate() {
+	if c.MSS <= 0 {
+		panic("transport: MSS must be positive")
+	}
+	if c.InitCwnd < 1 {
+		panic("transport: InitCwnd must be >= 1")
+	}
+	if c.MinRTO <= 0 {
+		panic("transport: MinRTO must be positive")
+	}
+	if c.TTL <= 0 {
+		panic("transport: TTL must be positive")
+	}
+}
+
+// Sender is the sending endpoint of a flow.
+type Sender struct {
+	env  Env
+	cfg  Config
+	Flow packet.FlowID
+	Src  packet.NodeID
+	Dst  packet.NodeID
+	// Total is the number of payload bytes to transfer.
+	Total int64
+
+	sndUna  int64 // lowest unacknowledged byte
+	sndNxt  int64 // next byte to send
+	maxSent int64 // highest byte ever sent (detects retransmissions)
+
+	cwnd       float64 // congestion window, in packets
+	ssthresh   float64
+	dupacks    int
+	inRecovery bool
+	recover    int64 // NewReno recovery point
+
+	srtt, rttvar eventq.Time
+	hasRTT       bool
+	rto          eventq.Time
+	rtoTimer     *eventq.Timer
+
+	// DCTCP state.
+	alpha       float64
+	ackedBytes  int64
+	markedBytes int64
+	windowEnd   int64
+	cwndReduced bool // at most one reduction per window
+
+	started bool
+	done    bool
+	// OnComplete fires once, when every byte has been cumulatively acked.
+	OnComplete func()
+
+	// Stats.
+	Retransmits  int
+	Timeouts     int
+	FastRecovers int
+	PacketsSent  int
+	StartedAt    eventq.Time
+}
+
+// NewSender creates a sender for a flow of total bytes.
+func NewSender(env Env, cfg Config, flow packet.FlowID, src, dst packet.NodeID, total int64) *Sender {
+	cfg.validate()
+	if total <= 0 {
+		panic("transport: flow size must be positive")
+	}
+	return &Sender{
+		env:      env,
+		cfg:      cfg,
+		Flow:     flow,
+		Src:      src,
+		Dst:      dst,
+		Total:    total,
+		cwnd:     cfg.InitCwnd,
+		ssthresh: 1 << 30,
+		rto:      cfg.initialRTO(),
+		// DCTCP convention (and Linux default): start alpha at 1 so the
+		// first congestion signal gets a conservative halving.
+		alpha: 1,
+	}
+}
+
+func (c *Config) initialRTO() eventq.Time {
+	if c.FixedRTO > 0 {
+		return c.FixedRTO
+	}
+	return c.MinRTO
+}
+
+// Start begins transmission.
+func (s *Sender) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.StartedAt = s.env.Sched.Now()
+	s.windowEnd = 0
+	s.trySend()
+}
+
+// Done reports whether the transfer completed.
+func (s *Sender) Done() bool { return s.done }
+
+// Cwnd returns the current congestion window in packets (for tests and
+// metrics).
+func (s *Sender) Cwnd() float64 { return s.cwnd }
+
+// Alpha returns the DCTCP congestion estimate.
+func (s *Sender) Alpha() float64 { return s.alpha }
+
+// RTO returns the current retransmission timeout.
+func (s *Sender) RTO() eventq.Time { return s.rto }
+
+// SRTT returns the smoothed RTT estimate (0 before the first sample).
+func (s *Sender) SRTT() eventq.Time { return s.srtt }
+
+func (s *Sender) inflight() int64 { return s.sndNxt - s.sndUna }
+
+func (s *Sender) cwndBytes() int64 {
+	return int64(s.cwnd * float64(s.cfg.MSS))
+}
+
+// trySend emits segments while the window allows.
+func (s *Sender) trySend() {
+	if s.done {
+		return
+	}
+	for s.sndNxt < s.Total && s.inflight() < s.cwndBytes() {
+		payload := s.Total - s.sndNxt
+		if payload > int64(s.cfg.MSS) {
+			payload = int64(s.cfg.MSS)
+		}
+		s.emitSegment(s.sndNxt, int(payload))
+		s.sndNxt += payload
+		if s.sndNxt > s.maxSent {
+			s.maxSent = s.sndNxt
+		}
+	}
+	if s.inflight() > 0 {
+		s.armRTO(false)
+	}
+}
+
+func (s *Sender) emitSegment(seq int64, payload int) {
+	p := &packet.Packet{
+		Kind:         packet.Data,
+		Flow:         s.Flow,
+		Src:          s.Src,
+		Dst:          s.Dst,
+		Seq:          seq,
+		PayloadBytes: payload,
+		TTL:          s.cfg.TTL,
+		SentAt:       int64(s.env.Sched.Now()),
+		Rexmit:       seq < s.maxSent,
+	}
+	if s.cfg.Variant == PFabric {
+		// pFabric priority: remaining flow size; lower = more urgent.
+		p.Priority = s.Total - s.sndUna
+	}
+	if p.Rexmit {
+		s.Retransmits++
+	}
+	s.PacketsSent++
+	s.env.Emit(p)
+}
+
+// armRTO schedules (or, when force is set, reschedules) the retransmission
+// timer.
+func (s *Sender) armRTO(force bool) {
+	if s.rtoTimer != nil && s.rtoTimer.Pending() {
+		if !force {
+			return
+		}
+		s.rtoTimer.Cancel()
+	}
+	s.rtoTimer = s.env.Sched.After(s.rto, s.onRTO)
+}
+
+func (s *Sender) cancelRTO() {
+	if s.rtoTimer != nil {
+		s.rtoTimer.Cancel()
+		s.rtoTimer = nil
+	}
+}
+
+// onRTO handles a retransmission timeout: go-back-N from sndUna with an
+// exponentially backed-off timer.
+func (s *Sender) onRTO() {
+	if s.done {
+		return
+	}
+	s.Timeouts++
+	s.ssthresh = maxf(s.cwnd/2, 2)
+	s.cwnd = 1
+	s.dupacks = 0
+	s.inRecovery = false
+	if s.cfg.FixedRTO == 0 {
+		s.rto = minT(s.rto*2, s.cfg.MaxRTO)
+	}
+	s.sndNxt = s.sndUna
+	s.trySend()
+	s.armRTO(true)
+}
+
+// OnAck processes a cumulative acknowledgment.
+func (s *Sender) OnAck(p *packet.Packet) {
+	if s.done || p.Kind != packet.Ack {
+		return
+	}
+	ack := p.Seq
+	switch {
+	case ack > s.sndUna:
+		newly := ack - s.sndUna
+		s.sndUna = ack
+		if s.sndNxt < s.sndUna {
+			s.sndNxt = s.sndUna
+		}
+		s.dupacks = 0
+		// RTT sampling from the echoed send timestamp, original
+		// transmissions only (Karn's rule).
+		if !p.Rexmit && s.cfg.FixedRTO == 0 {
+			s.updateRTT(s.env.Sched.Now() - eventq.Time(p.SentAt))
+		}
+		if s.cfg.Variant == DCTCP {
+			s.dctcpOnAck(ack, newly, p.ECNEcho)
+		}
+		if s.inRecovery {
+			if ack >= s.recover {
+				s.inRecovery = false
+				s.cwnd = s.ssthresh
+			} else {
+				// NewReno partial ACK: retransmit the next hole.
+				s.emitSegment(s.sndUna, s.segLenAt(s.sndUna))
+			}
+		} else {
+			s.grow(newly)
+		}
+		if s.sndUna >= s.Total {
+			s.complete()
+			return
+		}
+		s.armRTO(true)
+		s.trySend()
+
+	case ack == s.sndUna && s.inflight() > 0:
+		s.dupacks++
+		if s.cfg.DupAckThresh > 0 && s.dupacks == s.cfg.DupAckThresh && !s.inRecovery {
+			s.fastRetransmit()
+		}
+	}
+}
+
+// segLenAt returns the payload length of the segment starting at seq.
+func (s *Sender) segLenAt(seq int64) int {
+	n := s.Total - seq
+	if n > int64(s.cfg.MSS) {
+		n = int64(s.cfg.MSS)
+	}
+	return int(n)
+}
+
+func (s *Sender) fastRetransmit() {
+	s.FastRecovers++
+	s.ssthresh = maxf(s.cwnd/2, 2)
+	s.cwnd = s.ssthresh + 3
+	s.inRecovery = true
+	s.recover = s.sndNxt
+	s.emitSegment(s.sndUna, s.segLenAt(s.sndUna))
+	s.armRTO(true)
+}
+
+// grow applies slow start / congestion avoidance for newly acked bytes.
+func (s *Sender) grow(newly int64) {
+	pkts := float64(newly) / float64(s.cfg.MSS)
+	if s.cwnd < s.ssthresh {
+		s.cwnd += pkts
+	} else {
+		s.cwnd += pkts / s.cwnd
+	}
+	if s.cfg.MaxCwnd > 0 && s.cwnd > s.cfg.MaxCwnd {
+		s.cwnd = s.cfg.MaxCwnd
+	}
+}
+
+// dctcpOnAck implements the DCTCP control law: per-window marked-byte
+// fraction drives alpha; one proportional window decrease per window.
+func (s *Sender) dctcpOnAck(ack, newly int64, echo bool) {
+	s.ackedBytes += newly
+	if echo {
+		s.markedBytes += newly
+		if !s.cwndReduced {
+			s.cwnd = maxf(1, s.cwnd*(1-s.alpha/2))
+			s.ssthresh = s.cwnd
+			s.cwndReduced = true
+		}
+	}
+	if ack >= s.windowEnd {
+		if s.ackedBytes > 0 {
+			f := float64(s.markedBytes) / float64(s.ackedBytes)
+			s.alpha = (1-s.cfg.DCTCPGain)*s.alpha + s.cfg.DCTCPGain*f
+		}
+		s.ackedBytes, s.markedBytes = 0, 0
+		s.windowEnd = s.sndNxt
+		s.cwndReduced = false
+	}
+}
+
+// updateRTT is RFC 6298 with the MinRTO clamp.
+func (s *Sender) updateRTT(sample eventq.Time) {
+	if sample <= 0 {
+		return
+	}
+	if !s.hasRTT {
+		s.srtt = sample
+		s.rttvar = sample / 2
+		s.hasRTT = true
+	} else {
+		d := s.srtt - sample
+		if d < 0 {
+			d = -d
+		}
+		s.rttvar = (3*s.rttvar + d) / 4
+		s.srtt = (7*s.srtt + sample) / 8
+	}
+	s.rto = s.srtt + 4*s.rttvar
+	if s.rto < s.cfg.MinRTO {
+		s.rto = s.cfg.MinRTO
+	}
+	if s.rto > s.cfg.MaxRTO {
+		s.rto = s.cfg.MaxRTO
+	}
+}
+
+func (s *Sender) complete() {
+	s.done = true
+	s.cancelRTO()
+	if s.OnComplete != nil {
+		s.OnComplete()
+	}
+}
+
+// Receiver is the receiving endpoint of a flow.
+type Receiver struct {
+	env  Env
+	cfg  Config
+	Flow packet.FlowID
+	// Host is this receiver's node (the ACK source).
+	Host  packet.NodeID
+	Total int64
+
+	rcvNxt int64
+	ranges rangeSet
+	done   bool
+	// OnComplete fires once, when all Total bytes have arrived.
+	OnComplete func()
+
+	// Delayed-ACK state (DCTCP ECN-echo state machine).
+	pendingCnt int
+	lastCE     bool
+	lastSentAt int64
+	lastRexmit bool
+	ackTimer   *eventq.Timer
+	peerSrc    packet.NodeID
+	peerFlow   packet.FlowID
+
+	// AcksSent counts emitted ACKs (delayed acking roughly halves it).
+	AcksSent int
+
+	// Stats.
+	PacketsReceived int
+	DupBytes        int64
+	FirstArrival    eventq.Time
+	LastArrival     eventq.Time
+}
+
+// NewReceiver creates a receiver expecting total bytes on flow.
+func NewReceiver(env Env, cfg Config, flow packet.FlowID, host packet.NodeID, total int64) *Receiver {
+	cfg.validate()
+	if total <= 0 {
+		panic("transport: flow size must be positive")
+	}
+	return &Receiver{env: env, cfg: cfg, Flow: flow, Host: host, Total: total}
+}
+
+// Done reports whether every byte has arrived.
+func (r *Receiver) Done() bool { return r.done }
+
+// RcvNxt returns the highest contiguous byte received.
+func (r *Receiver) RcvNxt() int64 { return r.rcvNxt }
+
+// OnData handles an arriving data segment and emits a cumulative ACK that
+// echoes the segment's CE mark and send timestamp.
+func (r *Receiver) OnData(p *packet.Packet) {
+	if p.Kind != packet.Data {
+		return
+	}
+	if r.PacketsReceived == 0 {
+		r.FirstArrival = r.env.Sched.Now()
+	}
+	r.PacketsReceived++
+	r.LastArrival = r.env.Sched.Now()
+
+	// ECN-echo state machine (delayed ACKs): a change in the CE state of
+	// arriving segments immediately flushes an ACK covering the previous
+	// segments and echoing *their* state, so the sender can reconstruct
+	// the exact marked-byte count. This must happen before the new
+	// segment advances rcvNxt.
+	if r.cfg.DelayedAck && r.pendingCnt > 0 && p.CE != r.lastCE {
+		r.flushAck()
+	}
+
+	before := r.ranges.covered()
+	r.ranges.add(p.Seq, p.End())
+	if r.ranges.covered() == before {
+		r.DupBytes += int64(p.PayloadBytes)
+	}
+	r.rcvNxt = r.ranges.contiguousFrom(r.rcvNxt)
+
+	complete := !r.done && r.rcvNxt >= r.Total
+
+	if !r.cfg.DelayedAck {
+		r.emitAck(p.CE, p.SentAt, p.Rexmit, p.Src, p.Flow)
+	} else {
+		r.peerSrc, r.peerFlow = p.Src, p.Flow
+		r.lastCE = p.CE
+		r.lastSentAt = p.SentAt
+		r.lastRexmit = p.Rexmit
+		r.pendingCnt++
+		every := r.cfg.AckEvery
+		if every <= 0 {
+			every = 2
+		}
+		if r.pendingCnt >= every || complete {
+			r.flushAck()
+		} else if r.ackTimer == nil || !r.ackTimer.Pending() {
+			timeout := r.cfg.AckTimeout
+			if timeout <= 0 {
+				timeout = 500 * eventq.Microsecond
+			}
+			r.ackTimer = r.env.Sched.After(timeout, r.flushAck)
+		}
+	}
+
+	if complete {
+		r.done = true
+		if r.OnComplete != nil {
+			r.OnComplete()
+		}
+	}
+}
+
+// flushAck emits the pending delayed ACK, if any.
+func (r *Receiver) flushAck() {
+	if r.pendingCnt == 0 {
+		return
+	}
+	if r.ackTimer != nil {
+		r.ackTimer.Cancel()
+	}
+	r.pendingCnt = 0
+	r.emitAck(r.lastCE, r.lastSentAt, r.lastRexmit, r.peerSrc, r.peerFlow)
+}
+
+// emitAck sends a cumulative ACK for everything received so far.
+func (r *Receiver) emitAck(echo bool, sentAt int64, rexmit bool, dst packet.NodeID, flow packet.FlowID) {
+	r.env.Emit(&packet.Packet{
+		Kind:    packet.Ack,
+		Flow:    flow,
+		Src:     r.Host,
+		Dst:     dst,
+		Seq:     r.rcvNxt,
+		TTL:     r.cfg.TTL,
+		ECNEcho: echo,
+		SentAt:  sentAt,
+		Rexmit:  rexmit,
+		// ACKs carry top priority in pFabric so they are never starved.
+		Priority: 0,
+	})
+	r.AcksSent++
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minT(a, b eventq.Time) eventq.Time {
+	if a < b {
+		return a
+	}
+	return b
+}
