@@ -269,3 +269,102 @@ func BenchmarkSchedulerChurn(b *testing.B) {
 	b.ResetTimer()
 	s.Run()
 }
+
+// TestSameInstantFIFOUnderHeapChurn pins the (at, seq) tie-break while the
+// heap is busy with events at many other instants: sift-up/down must never
+// reorder equal-time events. A scheduler refactor that drops the seq field
+// passes the simple FIFO test by luck far more easily than this one.
+func TestSameInstantFIFOUnderHeapChurn(t *testing.T) {
+	s := NewScheduler()
+	const tied = 100
+	var got []int
+	// Surround the tied instant with earlier and later events, interleaving
+	// insertion so tied events arrive between unrelated heap operations.
+	for i := 0; i < tied; i++ {
+		i := i
+		s.At(Time(10*i+5), func() {})               // before the tie
+		s.At(5000, func() { got = append(got, i) }) // the tied instant
+		s.At(Time(9000+7*i), func() {})             // after the tie
+	}
+	s.Run()
+	if len(got) != tied {
+		t.Fatalf("ran %d tied events, want %d", len(got), tied)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tied events out of insertion order at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+// TestSameInstantFIFOAcrossAtAndAfter pins that At(now+d) and After(d) land
+// in one FIFO ordered purely by scheduling call order.
+func TestSameInstantFIFOAcrossAtAndAfter(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	s.After(50, func() { got = append(got, 0) })
+	s.At(50, func() { got = append(got, 1) })
+	s.After(50, func() { got = append(got, 2) })
+	s.At(50, func() { got = append(got, 3) })
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("mixed At/After tie broke FIFO: %v", got)
+		}
+	}
+}
+
+// TestNestedSameInstantRunsAfterQueued pins that an event scheduled *for the
+// current instant from within a callback* runs after everything already
+// queued at that instant (its seq is larger), not immediately.
+func TestNestedSameInstantRunsAfterQueued(t *testing.T) {
+	s := NewScheduler()
+	var got []string
+	s.At(10, func() {
+		got = append(got, "first")
+		s.At(10, func() { got = append(got, "nested") })
+		s.After(0, func() { got = append(got, "nested-after0") })
+	})
+	s.At(10, func() { got = append(got, "second") })
+	s.Run()
+	want := []string{"first", "second", "nested", "nested-after0"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("nested same-instant ordering: got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestCancelDoesNotDisturbTieOrder pins that canceling one event in a tied
+// group leaves the remaining events in insertion order.
+func TestCancelDoesNotDisturbTieOrder(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	var timers []*Timer
+	for i := 0; i < 20; i++ {
+		i := i
+		timers = append(timers, s.At(77, func() { got = append(got, i) }))
+	}
+	for i := 1; i < 20; i += 3 {
+		if !timers[i].Cancel() {
+			t.Fatalf("cancel %d failed", i)
+		}
+	}
+	s.Run()
+	want := 0
+	for _, v := range got {
+		for want%3 == 1 { // canceled residues
+			want++
+		}
+		if v != want {
+			t.Fatalf("post-cancel tie order broke: %v", got)
+		}
+		want++
+	}
+	if len(got) != 13 {
+		t.Fatalf("ran %d events, want 13", len(got))
+	}
+}

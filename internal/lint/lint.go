@@ -1,0 +1,354 @@
+// Package lint implements dibslint, a static-analysis suite purpose-built
+// for this simulator. DIBS results are only meaningful if a run is exactly
+// reproducible — the paper's figures (incast 99th-percentile QCT, drop
+// counts, detour loops) come from seeded simulations — so the properties
+// that keep runs deterministic are enforced by machine, not convention:
+//
+//   - no global math/rand state or ad-hoc PRNG construction (every stream
+//     must derive from Config.Seed via internal/rng),
+//   - no wall-clock reads inside simulation packages (virtual time only),
+//   - no map-range iteration feeding event scheduling or result aggregation,
+//   - no raw-nanosecond literals or time.Duration leaking into eventq.Time,
+//   - no ==/!= on float64 metrics, and no dropped error returns or
+//     scheduling into the past.
+//
+// The engine is built exclusively on the standard library (go/parser,
+// go/ast, go/types with the source importer), honoring the repo's
+// stdlib-only rule. See rules.go for the analyzers and DESIGN.md
+// ("Determinism & lint rules") for the rule catalogue.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation, reported as file:line:col rule-id message.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
+}
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string // import path, e.g. dibs/internal/netsim
+	Dir   string // absolute directory ("" for synthetic packages)
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Analyzer inspects one package and reports findings.
+type Analyzer struct {
+	// Rules lists the rule IDs this analyzer can emit, for -rules.
+	Rules []RuleDoc
+	// Check runs the analyzer. report attaches a finding at pos.
+	Check func(l *Loader, pkg *Package, report func(pos token.Pos, rule, msg string))
+}
+
+// RuleDoc documents one rule ID for `dibslint -rules`.
+type RuleDoc struct {
+	ID  string
+	Doc string
+}
+
+// Loader parses and type-checks packages of the enclosing module using only
+// the standard library: module-local imports are resolved recursively from
+// source, standard-library imports through go/importer's source importer.
+type Loader struct {
+	Fset       *token.FileSet
+	ModuleRoot string // absolute path of the directory holding go.mod
+	ModulePath string // module path from go.mod (e.g. "dibs")
+
+	std  types.Importer
+	pkgs map[string]*Package
+	// loading guards against import cycles (invalid Go, but fail loudly).
+	loading map[string]bool
+	// TypeErrors collects non-fatal type-check diagnostics; packages are
+	// still analyzed best-effort.
+	TypeErrors []error
+}
+
+// NewLoader locates the module root by walking up from dir to the nearest
+// go.mod and returns a loader for it.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		ModuleRoot: root,
+		ModulePath: modPath,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}, nil
+}
+
+var moduleRe = regexp.MustCompile(`^module\s+(\S+)`)
+
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if m := moduleRe.FindStringSubmatch(strings.TrimSpace(line)); m != nil {
+			return m[1], nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// Import implements types.Importer, routing module-local paths to the
+// source loader and everything else to the stdlib source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// dirFor maps a module import path to its directory.
+func (l *Loader) dirFor(path string) string {
+	if path == l.ModulePath {
+		return l.ModuleRoot
+	}
+	rel := strings.TrimPrefix(path, l.ModulePath+"/")
+	return filepath.Join(l.ModuleRoot, filepath.FromSlash(rel))
+}
+
+// PathFor maps a directory inside the module to its import path.
+func (l *Loader) PathFor(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	rel, err := filepath.Rel(l.ModuleRoot, abs)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.ModulePath, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside module %s", dir, l.ModuleRoot)
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// Load parses and type-checks the package at the given module import path.
+// Test files (_test.go) are excluded: the determinism rules deliberately do
+// not apply to tests, which may use wall clocks and ad-hoc randomness.
+func (l *Loader) Load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	dir := l.dirFor(path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", path, err)
+	}
+	sources := make(map[string]string)
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		sources[filepath.Join(dir, name)] = ""
+	}
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("lint: no Go source in %s", dir)
+	}
+	return l.check(path, dir, sources)
+}
+
+// LoadSynthetic type-checks an in-memory package (used by analyzer tests to
+// lint fixture sources that do not exist on disk). files maps file name to
+// source text; the import path controls which scoped rules apply.
+func (l *Loader) LoadSynthetic(path string, files map[string]string) (*Package, error) {
+	return l.check(path, "", files)
+}
+
+// check parses and type-checks one package. sources maps filename to source
+// text; an empty text means "read the file from disk".
+func (l *Loader) check(path, dir string, sources map[string]string) (*Package, error) {
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	names := make([]string, 0, len(sources))
+	for name := range sources {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var files []*ast.File
+	for _, name := range names {
+		var src any
+		if text := sources[name]; text != "" {
+			src = text
+		}
+		f, err := parser.ParseFile(l.Fset, name, src, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { l.TypeErrors = append(l.TypeErrors, err) },
+	}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil && tpkg == nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// SimPackage reports whether path is a simulation package: the module root
+// package and everything under internal/, except the lint tooling itself.
+// cmd/ and examples/ binaries may legitimately read the wall clock (to print
+// elapsed real time) and are outside the determinism perimeter.
+func (l *Loader) SimPackage(path string) bool {
+	if path == l.ModulePath {
+		return true
+	}
+	internal := l.ModulePath + "/internal/"
+	if !strings.HasPrefix(path, internal) {
+		return false
+	}
+	return path != internal+"lint"
+}
+
+// RNGPackage reports whether path is the sanctioned PRNG-derivation
+// package, the only simulation code allowed to construct rand sources.
+func (l *Loader) RNGPackage(path string) bool {
+	return path == l.ModulePath+"/internal/rng"
+}
+
+// ignoreRe matches suppression comments: //dibslint:ignore RULE reason...
+// A reason is mandatory; an ignore without one is itself reported.
+var ignoreRe = regexp.MustCompile(`^//dibslint:ignore\s+(\S+)\s*(.*)$`)
+
+// suppressions returns, per file line, the set of rule IDs suppressed on
+// that line (the comment's own line and the line after it, so the directive
+// can trail the offending statement or sit above it). Malformed directives
+// are reported as lint-badignore findings.
+func suppressions(fset *token.FileSet, files []*ast.File, report func(pos token.Pos, rule, msg string)) map[string]map[int]map[string]bool {
+	sup := make(map[string]map[int]map[string]bool) // file -> line -> rules
+	add := func(file string, line int, rule string) {
+		if sup[file] == nil {
+			sup[file] = make(map[int]map[string]bool)
+		}
+		if sup[file][line] == nil {
+			sup[file][line] = make(map[string]bool)
+		}
+		sup[file][line][rule] = true
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.HasPrefix(c.Text, "//dibslint:") {
+						report(c.Pos(), "lint-badignore",
+							"malformed directive; use //dibslint:ignore RULE reason")
+					}
+					continue
+				}
+				if strings.TrimSpace(m[2]) == "" {
+					report(c.Pos(), "lint-badignore",
+						fmt.Sprintf("ignore of %s needs a reason: //dibslint:ignore %s <why>", m[1], m[1]))
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				add(pos.Filename, pos.Line, m[1])
+				add(pos.Filename, pos.Line+1, m[1])
+			}
+		}
+	}
+	return sup
+}
+
+// Run executes all analyzers over the given packages and returns findings
+// sorted by position, with //dibslint:ignore suppressions applied.
+func (l *Loader) Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		var raw []Finding
+		report := func(pos token.Pos, rule, msg string) {
+			raw = append(raw, Finding{Pos: l.Fset.Position(pos), Rule: rule, Msg: msg})
+		}
+		sup := suppressions(l.Fset, pkg.Files, report)
+		for _, a := range analyzers {
+			a.Check(l, pkg, report)
+		}
+		for _, f := range raw {
+			if rules, ok := sup[f.Pos.Filename][f.Pos.Line]; ok && rules[f.Rule] && f.Rule != "lint-badignore" {
+				continue
+			}
+			findings = append(findings, f)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return findings
+}

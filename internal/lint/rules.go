@@ -1,0 +1,475 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzers returns the full dibslint suite.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		Nondeterminism(),
+		VirtualTime(),
+		FloatEq(),
+		SchedHygiene(),
+	}
+}
+
+// AllRules returns every rule's documentation, for `dibslint -rules`.
+func AllRules() []RuleDoc {
+	docs := []RuleDoc{{
+		ID:  "lint-badignore",
+		Doc: "a //dibslint: directive is malformed or lacks a reason",
+	}}
+	for _, a := range Analyzers() {
+		docs = append(docs, a.Rules...)
+	}
+	return docs
+}
+
+// globalRandFns are math/rand package-level functions that draw from the
+// process-global source. Using them makes two runs with the same Config
+// diverge, because the global source is shared and auto-seeded.
+var globalRandFns = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+	// math/rand/v2 spellings.
+	"N": true, "IntN": true, "Int32": true, "Int32N": true, "Int64": true,
+	"Int64N": true, "Uint32N": true, "Uint64N": true, "UintN": true, "Uint": true,
+}
+
+// randConstructors create PRNG sources; outside internal/rng they bypass
+// the single-seed derivation contract.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+// wallClockFns are time-package functions that read or depend on the wall
+// clock; simulation code must use the virtual clock (eventq.Scheduler.Now).
+var wallClockFns = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// Nondeterminism reports sources of run-to-run divergence in simulation
+// packages: global math/rand state, PRNG construction outside internal/rng,
+// wall-clock reads, and map-range iteration that feeds event scheduling or
+// result aggregation.
+func Nondeterminism() *Analyzer {
+	return &Analyzer{
+		Rules: []RuleDoc{
+			{"nondet-globalrand", "simulation code calls a math/rand package-level function (global, auto-seeded source)"},
+			{"nondet-randnew", "PRNG constructed outside internal/rng; derive every stream from Config.Seed via rng.New"},
+			{"nondet-wallclock", "simulation code reads the wall clock; use the scheduler's virtual clock"},
+			{"nondet-maprange", "map iteration order feeds event scheduling or result aggregation"},
+		},
+		Check: func(l *Loader, pkg *Package, report func(token.Pos, string, string)) {
+			if !l.SimPackage(pkg.Path) {
+				return
+			}
+			for ident, obj := range pkg.Info.Uses {
+				fn, ok := obj.(*types.Func)
+				if !ok || fn.Pkg() == nil {
+					continue
+				}
+				if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+					continue // methods (e.g. (*rand.Rand).Intn) are fine
+				}
+				switch fn.Pkg().Path() {
+				case "math/rand", "math/rand/v2":
+					if globalRandFns[fn.Name()] {
+						report(ident.Pos(), "nondet-globalrand",
+							fmt.Sprintf("call to global rand.%s; use the *rand.Rand plumbed from Config.Seed", fn.Name()))
+					} else if randConstructors[fn.Name()] && !l.RNGPackage(pkg.Path) {
+						report(ident.Pos(), "nondet-randnew",
+							fmt.Sprintf("rand.%s outside internal/rng; derive streams with rng.New(seed, name)", fn.Name()))
+					}
+				case "time":
+					if wallClockFns[fn.Name()] {
+						report(ident.Pos(), "nondet-wallclock",
+							fmt.Sprintf("time.%s reads the wall clock; simulation time comes from eventq.Scheduler.Now", fn.Name()))
+					}
+				}
+			}
+			for _, f := range pkg.Files {
+				checkMapRanges(pkg, f, report)
+			}
+		},
+	}
+}
+
+// checkMapRanges flags range-over-map loops whose bodies schedule events or
+// append to state outliving the loop: Go randomizes map iteration order, so
+// both make event order (and float accumulation order) differ across runs.
+func checkMapRanges(pkg *Package, f *ast.File, report func(token.Pos, string, string)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pkg.Info.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		ast.Inspect(rs.Body, func(m ast.Node) bool {
+			switch stmt := m.(type) {
+			case *ast.CallExpr:
+				if se, ok := stmt.Fun.(*ast.SelectorExpr); ok {
+					if sel := pkg.Info.Selections[se]; sel != nil && isSchedulerMethod(sel, se.Sel.Name) {
+						report(stmt.Pos(), "nondet-maprange",
+							fmt.Sprintf("%s scheduled inside map iteration; event order becomes map-order dependent", se.Sel.Name))
+					}
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range stmt.Rhs {
+					call, ok := rhs.(*ast.CallExpr)
+					if !ok || !isBuiltinAppend(pkg, call) || i >= len(stmt.Lhs) {
+						continue
+					}
+					if escapesLoop(pkg, stmt.Lhs[i], rs) {
+						report(stmt.Pos(), "nondet-maprange",
+							"append to outer state inside map iteration; aggregate over a sorted key slice instead")
+					}
+				}
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// isSchedulerMethod reports whether sel is eventq.Scheduler.At/After.
+func isSchedulerMethod(sel *types.Selection, name string) bool {
+	if name != "At" && name != "After" {
+		return false
+	}
+	recv := sel.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Scheduler" &&
+		strings.HasSuffix(named.Obj().Pkg().Path(), "internal/eventq")
+}
+
+func isBuiltinAppend(pkg *Package, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isBuiltin := pkg.Info.Uses[id].(*types.Builtin)
+	return isBuiltin && id.Name == "append"
+}
+
+// escapesLoop reports whether the assignment target outlives the range
+// statement: a selector (field of longer-lived state) or an identifier
+// declared outside the loop.
+func escapesLoop(pkg *Package, lhs ast.Expr, rs *ast.RangeStmt) bool {
+	switch e := lhs.(type) {
+	case *ast.SelectorExpr:
+		return true
+	case *ast.Ident:
+		obj := pkg.Info.Uses[e]
+		if obj == nil {
+			obj = pkg.Info.Defs[e]
+		}
+		return obj != nil && (obj.Pos() < rs.Pos() || obj.Pos() > rs.End())
+	}
+	return false
+}
+
+// VirtualTime enforces eventq.Time hygiene: no time.Duration leaking into
+// simulation state, no raw-nanosecond magic literals, and no Time×Time
+// products (ns² overflows int64 within milliseconds).
+func VirtualTime() *Analyzer {
+	return &Analyzer{
+		Rules: []RuleDoc{
+			{"vtime-duration", "time.Duration used in simulation code where eventq.Time belongs; convert at the boundary with eventq.Duration"},
+			{"vtime-rawns", "raw integer literal used as eventq.Time; spell durations with eventq unit constants (e.g. 5*eventq.Microsecond)"},
+			{"vtime-overflow", "product of two non-constant eventq.Time values; ns×ns overflows int64 almost immediately"},
+		},
+		Check: func(l *Loader, pkg *Package, report func(token.Pos, string, string)) {
+			if !l.SimPackage(pkg.Path) {
+				return
+			}
+			eventqPkg := strings.HasSuffix(pkg.Path, "internal/eventq")
+			if !eventqPkg {
+				// Declarations of wall-clock duration type in sim state.
+				for ident, obj := range pkg.Info.Defs {
+					v, ok := obj.(*types.Var)
+					if !ok || !isNamedType(v.Type(), "time", "Duration") {
+						continue
+					}
+					report(ident.Pos(), "vtime-duration",
+						fmt.Sprintf("%s has type time.Duration; simulator quantities use eventq.Time", ident.Name))
+				}
+			}
+			for _, f := range pkg.Files {
+				// Conversions eventq.Time(d) from a time.Duration.
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok || len(call.Args) != 1 {
+						return true
+					}
+					ft, ok := pkg.Info.Types[call.Fun]
+					if !ok || !ft.IsType() || !isEventqTime(ft.Type) {
+						return true
+					}
+					if at, ok := pkg.Info.Types[call.Args[0]]; ok && isNamedType(at.Type, "time", "Duration") {
+						report(call.Pos(), "vtime-duration",
+							"direct cast of time.Duration to eventq.Time; use eventq.Duration for the boundary conversion")
+					}
+					return true
+				})
+				if !eventqPkg {
+					walkWithParent(f, func(n, parent ast.Node) {
+						checkRawNs(pkg, n, parent, report)
+					})
+				}
+				ast.Inspect(f, func(n ast.Node) bool {
+					be, ok := n.(*ast.BinaryExpr)
+					if !ok || be.Op != token.MUL {
+						return true
+					}
+					xt, xok := pkg.Info.Types[be.X]
+					yt, yok := pkg.Info.Types[be.Y]
+					if xok && yok && isEventqTime(xt.Type) && isEventqTime(yt.Type) &&
+						xt.Value == nil && yt.Value == nil {
+						report(be.Pos(), "vtime-overflow",
+							"Time × Time product is ns²; rescale one operand to a dimensionless factor first")
+					}
+					return true
+				})
+			}
+		},
+	}
+}
+
+// rawNsThreshold is the smallest integer literal treated as a raw-nanosecond
+// magic number when typed as eventq.Time. Small counts (tie-break epsilons,
+// 1-ns floors) stay legal.
+const rawNsThreshold = 1000
+
+// checkRawNs flags bare INT literals typed eventq.Time at or above the
+// threshold, except as factors of a multiplication/division (the idiomatic
+// `1500 * eventq.Nanosecond` spelling) or in comparisons.
+func checkRawNs(pkg *Package, n, parent ast.Node, report func(token.Pos, string, string)) {
+	lit, ok := n.(*ast.BasicLit)
+	if !ok || lit.Kind != token.INT {
+		return
+	}
+	tv, ok := pkg.Info.Types[lit]
+	if !ok || !isEventqTime(tv.Type) || tv.Value == nil {
+		return
+	}
+	v, ok := constant.Int64Val(constant.ToInt(tv.Value))
+	if !ok || v < rawNsThreshold {
+		return
+	}
+	if be, ok := parent.(*ast.BinaryExpr); ok && be.Op != token.ADD && be.Op != token.SUB {
+		return
+	}
+	report(lit.Pos(), "vtime-rawns",
+		fmt.Sprintf("raw nanosecond literal %s as eventq.Time; write it with unit constants", lit.Value))
+}
+
+// FloatEq flags ==/!= between floating-point values. Percentiles, FCTs and
+// goodputs are float64; exact equality on them silently depends on
+// accumulation order. Comparisons against an exact literal zero are exempt
+// (division guards test "never accumulated", which is exact).
+func FloatEq() *Analyzer {
+	return &Analyzer{
+		Rules: []RuleDoc{
+			{"float-eq", "==/!= on floating-point values; compare with a tolerance or restructure"},
+		},
+		Check: func(l *Loader, pkg *Package, report func(token.Pos, string, string)) {
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					be, ok := n.(*ast.BinaryExpr)
+					if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+						return true
+					}
+					xt, xok := pkg.Info.Types[be.X]
+					yt, yok := pkg.Info.Types[be.Y]
+					if !xok || !yok || (!isFloat(xt.Type) && !isFloat(yt.Type)) {
+						return true
+					}
+					if isExactZero(xt) || isExactZero(yt) {
+						return true
+					}
+					report(be.Pos(), "float-eq",
+						fmt.Sprintf("floating-point %s comparison; use a tolerance", be.Op))
+					return true
+				})
+			}
+		},
+	}
+}
+
+// SchedHygiene flags scheduling into the past and dropped error returns on
+// module APIs inside simulation packages.
+func SchedHygiene() *Analyzer {
+	return &Analyzer{
+		Rules: []RuleDoc{
+			{"sched-past", "event scheduled at Now() minus an offset; At panics on t < now — use After with the positive delta"},
+			{"sched-droppederr", "error result of a simulator API call silently dropped"},
+		},
+		Check: func(l *Loader, pkg *Package, report func(token.Pos, string, string)) {
+			if !l.SimPackage(pkg.Path) {
+				return
+			}
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					switch e := n.(type) {
+					case *ast.CallExpr:
+						checkSchedPast(pkg, e, report)
+					case *ast.ExprStmt:
+						checkDroppedErr(l, pkg, e, report)
+					}
+					return true
+				})
+			}
+		},
+	}
+}
+
+func checkSchedPast(pkg *Package, call *ast.CallExpr, report func(token.Pos, string, string)) {
+	se, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) < 1 {
+		return
+	}
+	sel := pkg.Info.Selections[se]
+	if sel == nil || se.Sel.Name != "At" || !isSchedulerMethod(sel, "At") {
+		return
+	}
+	be, ok := call.Args[0].(*ast.BinaryExpr)
+	if !ok || be.Op != token.SUB {
+		return
+	}
+	if containsNowCall(pkg, be.X) {
+		report(call.Args[0].Pos(), "sched-past",
+			"At(Now() - ...) schedules into the past; compute a forward delay and use After")
+	}
+}
+
+// containsNowCall reports whether expr contains a call to Scheduler.Now.
+func containsNowCall(pkg *Package, expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		se, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || se.Sel.Name != "Now" {
+			return true
+		}
+		if sel := pkg.Info.Selections[se]; sel != nil {
+			recv := sel.Recv()
+			if ptr, ok := recv.(*types.Pointer); ok {
+				recv = ptr.Elem()
+			}
+			if named, ok := recv.(*types.Named); ok && named.Obj().Name() == "Scheduler" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func checkDroppedErr(l *Loader, pkg *Package, stmt *ast.ExprStmt, report func(token.Pos, string, string)) {
+	call, ok := stmt.X.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	var fn *types.Func
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ = pkg.Info.Uses[f].(*types.Func)
+	case *ast.SelectorExpr:
+		fn, _ = pkg.Info.Uses[f.Sel].(*types.Func)
+	}
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	path := fn.Pkg().Path()
+	if path != l.ModulePath && !strings.HasPrefix(path, l.ModulePath+"/") {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if named, ok := res.At(i).Type().(*types.Named); ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+			report(stmt.Pos(), "sched-droppederr",
+				fmt.Sprintf("%s returns an error that is dropped; handle it or assign to _ explicitly", fn.Name()))
+			return
+		}
+	}
+}
+
+// --- shared type helpers ---
+
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == pkgPath && named.Obj().Name() == name
+}
+
+func isEventqTime(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Time" &&
+		strings.HasSuffix(named.Obj().Pkg().Path(), "internal/eventq")
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isExactZero(tv types.TypeAndValue) bool {
+	if tv.Value == nil {
+		return false
+	}
+	return constant.Compare(tv.Value, token.EQL, constant.MakeInt64(0))
+}
+
+// walkWithParent visits every node with its immediate parent.
+func walkWithParent(root ast.Node, visit func(n, parent ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		var parent ast.Node
+		if len(stack) > 0 {
+			parent = stack[len(stack)-1]
+		}
+		visit(n, parent)
+		stack = append(stack, n)
+		return true
+	})
+}

@@ -91,7 +91,9 @@ func SlowStartIdealFCT(bytes int64, rateBps int64, rtt eventq.Time, initCwnd flo
 func BaseRTT(hops int, rateBps int64, linkDelay eventq.Time, w WirePacket) eventq.Time {
 	data := SerializationTime(int64(w.MSS+w.HeaderBytes), rateBps) + linkDelay
 	ack := SerializationTime(int64(w.HeaderBytes), rateBps) + linkDelay
-	return eventq.Time(hops) * (data + ack)
+	// hops is a dimensionless count, so multiply in int64 rather than
+	// forming a Time×Time product.
+	return eventq.Time(int64(hops) * int64(data+ack))
 }
 
 // FairShare returns the per-flow ideal throughput when n flows share a link.

@@ -1,0 +1,137 @@
+package netsim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"testing"
+
+	"dibs/internal/eventq"
+	"dibs/internal/metrics"
+	"dibs/internal/trace"
+	"dibs/internal/workload"
+)
+
+// determinismConfig exercises every seeded stream at once: background and
+// query workloads, per-switch ECMP/detour RNGs, link jitter, plus tracing
+// and both monitors, on a small fat-tree.
+func determinismConfig() Config {
+	cfg := DefaultConfig()
+	cfg.FatTreeK = 4
+	cfg.Duration = 30 * eventq.Millisecond
+	cfg.Drain = 80 * eventq.Millisecond
+	cfg.Seed = 424242
+	cfg.BGInterarrival = 10 * eventq.Millisecond
+	cfg.Query = &workload.QueryConfig{QPS: 400, Degree: 8, ResponseBytes: 20_000}
+	cfg.RecordTimeline = true
+	cfg.TraceEvents = true
+	cfg.TraceEveryNth = 7
+	cfg.UtilWindow = 5 * eventq.Millisecond
+	cfg.BufferSamplePeriod = 5 * eventq.Millisecond
+	return cfg
+}
+
+// fingerprint serializes everything observable about a finished run into
+// one byte stream: the Results struct, every retained sample, every flow
+// record, the detour timeline, and the full structured event trace.
+func fingerprint(t *testing.T, n *Network, r *Results) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+
+	flat := *r
+	flat.Collector = nil // pointer identity differs across runs
+	if err := json.NewEncoder(&buf).Encode(flat); err != nil {
+		t.Fatalf("encoding results: %v", err)
+	}
+	fmt.Fprintln(&buf, r.String())
+
+	c := r.Collector
+	for _, s := range []struct {
+		name string
+		vals []float64
+	}{
+		{"qct", c.QCTs.Values()},
+		{"shortbg", c.ShortBGFCTs.Values()},
+		{"bg", c.BGFCTs.Values()},
+		{"detours", c.DetourCounts.Values()},
+	} {
+		fmt.Fprintf(&buf, "%s %v\n", s.name, s.vals)
+	}
+
+	var flows []*metrics.FlowInfo
+	c.EachFlow(func(f *metrics.FlowInfo) { flows = append(flows, f) })
+	sort.Slice(flows, func(i, j int) bool { return flows[i].ID < flows[j].ID })
+	for _, f := range flows {
+		fmt.Fprintf(&buf, "flow %d %v %d %d %v %v\n", f.ID, f.Class, f.Bytes, f.QueryID, f.Start, f.End)
+	}
+	for _, d := range c.DetourTimeline {
+		fmt.Fprintf(&buf, "detour %v %d\n", d.T, d.Switch)
+	}
+
+	fmt.Fprintf(&buf, "executed %d\n", n.Sched.Executed())
+	if err := trace.WriteJSONL(&buf, n.Trace.Events()); err != nil {
+		t.Fatalf("encoding trace: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestSeededRunsAreByteIdentical is the determinism regression: two
+// simulations built from the same Config must agree on every metric, every
+// flow record, every trace event, and the executed-event count. Any global
+// randomness, wall-clock read, or map-order dependence breaks it.
+func TestSeededRunsAreByteIdentical(t *testing.T) {
+	cfg := determinismConfig()
+
+	n1 := Build(cfg)
+	r1 := n1.Run()
+	fp1 := fingerprint(t, n1, r1)
+
+	n2 := Build(cfg)
+	r2 := n2.Run()
+	fp2 := fingerprint(t, n2, r2)
+
+	if len(n1.Trace.Events()) == 0 {
+		t.Fatal("trace recorded no events; fingerprint would be vacuous")
+	}
+	if r1.DeliveredData == 0 || r1.QueriesDone == 0 {
+		t.Fatalf("run delivered nothing (delivered=%d queries=%d); config too small",
+			r1.DeliveredData, r1.QueriesDone)
+	}
+	if got, want := len(n2.Trace.Events()), len(n1.Trace.Events()); got != want {
+		t.Fatalf("trace event counts differ: %d vs %d", got, want)
+	}
+	if !bytes.Equal(fp1, fp2) {
+		t.Fatalf("seeded runs diverged:\nrun1 %d bytes, run2 %d bytes\nfirst difference near byte %d",
+			len(fp1), len(fp2), firstDiff(fp1, fp2))
+	}
+}
+
+// TestDifferentSeedsDiverge guards the fingerprint itself: if two different
+// seeds fingerprint identically, the fingerprint is not capturing the run.
+func TestDifferentSeedsDiverge(t *testing.T) {
+	cfg := determinismConfig()
+	n1 := Build(cfg)
+	fp1 := fingerprint(t, n1, n1.Run())
+
+	cfg.Seed = 424243
+	n2 := Build(cfg)
+	fp2 := fingerprint(t, n2, n2.Run())
+
+	if bytes.Equal(fp1, fp2) {
+		t.Fatal("different seeds produced identical fingerprints; fingerprint is too weak")
+	}
+}
+
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}

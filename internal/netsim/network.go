@@ -2,7 +2,6 @@ package netsim
 
 import (
 	"fmt"
-	"math/rand"
 
 	"dibs/internal/core"
 	"dibs/internal/eventq"
@@ -10,6 +9,7 @@ import (
 	"dibs/internal/metrics"
 	"dibs/internal/packet"
 	"dibs/internal/queue"
+	"dibs/internal/rng"
 	"dibs/internal/switching"
 	"dibs/internal/topology"
 	"dibs/internal/trace"
@@ -36,7 +36,6 @@ type Network struct {
 	Trace *trace.Recorder
 
 	handlers []switching.Handler
-	rng      *rand.Rand
 
 	nextFlow packet.FlowID
 	// senders retains every sender for end-of-run stats aggregation.
@@ -66,7 +65,6 @@ func Build(cfg Config) *Network {
 	n := &Network{
 		Cfg:   cfg,
 		Sched: eventq.NewScheduler(),
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
 	}
 	n.Topo = buildTopo(cfg)
 	n.Collector = metrics.NewCollector(n.Sched)
@@ -98,7 +96,7 @@ func Build(cfg Config) *Network {
 			},
 		}
 	}
-	jitterRng := rand.New(rand.NewSource(cfg.Seed ^ 0x7177E5))
+	jitterRng := rng.New(cfg.Seed, "link/jitter")
 	jitterize := func(op *switching.OutPort) *switching.OutPort {
 		if cfg.ForwardJitter > 0 {
 			op.SetJitter(jitterRng, cfg.ForwardJitter)
@@ -146,7 +144,7 @@ func Build(cfg Config) *Network {
 			ports = append(ports, jitterize(switching.NewOutPort(n.Sched, n.makeQueue(pool),
 				p.RateBps, p.Delay, portRef{n, p.Peer}, p.PeerPort)))
 		}
-		swRng := rand.New(rand.NewSource(cfg.Seed ^ (int64(sid)+1)*0x5DEECE66D))
+		swRng := rng.New(cfg.Seed, fmt.Sprintf("switch/%d", sid))
 		var node switching.Node
 		if cfg.Arch == ArchCIOQ {
 			sw := switching.NewCIOQSwitch(sid, n.Topo, n.Sched, ports,
@@ -370,12 +368,12 @@ func (n *Network) Run() *Results {
 		if cfg.BGDist == BGDataMining {
 			dist = workload.DataMiningBackground()
 		}
-		bg := workload.NewBackground(n.Sched, rand.New(rand.NewSource(cfg.Seed+101)),
+		bg := workload.NewBackground(n.Sched, rng.New(cfg.Seed, "workload/background"),
 			hosts, cfg.BGInterarrival, dist, cfg.Duration, start)
 		bg.Start()
 	}
 	if cfg.Query != nil {
-		q := workload.NewQueries(n.Sched, rand.New(rand.NewSource(cfg.Seed+202)),
+		q := workload.NewQueries(n.Sched, rng.New(cfg.Seed, "workload/queries"),
 			hosts, *cfg.Query, cfg.Duration, start)
 		q.OnQuery = n.Collector.QueryStarted
 		q.Start()
@@ -399,7 +397,7 @@ func (n *Network) Run() *Results {
 	if cfg.Long != nil {
 		pairs := workload.Pairs(hosts)
 		if cfg.Long.Shuffle {
-			pairs = workload.PairsShuffled(hosts, rand.New(rand.NewSource(cfg.Seed+303)))
+			pairs = workload.PairsShuffled(hosts, rng.New(cfg.Seed, "workload/longpairs"))
 		}
 		const longBytes = int64(1) << 40 // effectively unbounded
 		for _, pr := range pairs {

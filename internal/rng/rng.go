@@ -1,0 +1,39 @@
+// Package rng is the single sanctioned place simulation code may construct
+// pseudo-random number generators. Every stream derives deterministically
+// from the run's Config.Seed plus a stable stream name, so one seed fixes
+// the entire simulation and adding a new consumer cannot perturb existing
+// streams (no shared counters, no ad-hoc XOR constants scattered around).
+//
+// The dibslint rule nondet-randnew enforces that rand.New/rand.NewSource
+// appear nowhere else in simulation packages.
+package rng
+
+import "math/rand"
+
+// New returns a deterministic generator for the named stream of a run.
+// The same (seed, stream) pair always yields the same sequence; distinct
+// stream names yield statistically independent sequences even for adjacent
+// seeds. Stream names are slash-separated paths by convention, e.g.
+// "workload/background" or "switch/17".
+func New(seed int64, stream string) *rand.Rand {
+	return rand.New(rand.NewSource(int64(Derive(uint64(seed), stream))))
+}
+
+// Derive mixes a seed with a stream name into a 64-bit stream seed:
+// FNV-1a over the name, then the SplitMix64 finalizer over seed+hash.
+// Exported so tests can pin the derivation, which must never change —
+// every recorded result in EXPERIMENTS.md depends on it.
+func Derive(seed uint64, stream string) uint64 {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(stream); i++ {
+		h = (h ^ uint64(stream[i])) * fnvPrime
+	}
+	z := seed + h + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

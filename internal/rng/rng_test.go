@@ -1,0 +1,50 @@
+package rng
+
+import "testing"
+
+// TestDerivePinned locks the stream-seed derivation. Changing it silently
+// re-seeds every simulation, invalidating all recorded results, so the
+// exact values are pinned here; a deliberate change must update this test
+// and the recorded experiment outputs together.
+func TestDerivePinned(t *testing.T) {
+	cases := []struct {
+		seed   uint64
+		stream string
+		want   uint64
+	}{
+		{1, "workload/background", 0x975325e309e3add6},
+		{1, "switch/0", 0x8f6dabcc2df04bea},
+	}
+	for _, c := range cases {
+		if got := Derive(c.seed, c.stream); got != c.want {
+			t.Errorf("Derive(%d, %q) = %#x, want %#x", c.seed, c.stream, got, c.want)
+		}
+	}
+}
+
+func TestNewIsDeterministicPerStream(t *testing.T) {
+	a := New(7, "workload/queries")
+	b := New(7, "workload/queries")
+	for i := 0; i < 100; i++ {
+		if x, y := a.Int63(), b.Int63(); x != y {
+			t.Fatalf("draw %d diverged: %d != %d", i, x, y)
+		}
+	}
+}
+
+func TestStreamsAreIndependent(t *testing.T) {
+	// Distinct stream names, adjacent seeds, and name/seed swaps must all
+	// yield different stream seeds — the historical failure mode of
+	// additive derivations like seed+101.
+	pairs := [][2]uint64{
+		{Derive(1, "a"), Derive(1, "b")},
+		{Derive(1, "a"), Derive(2, "a")},
+		{Derive(1, "switch/1"), Derive(1, "switch/2")},
+		{Derive(1, "switch/12"), Derive(2, "switch/1")},
+	}
+	for i, p := range pairs {
+		if p[0] == p[1] {
+			t.Errorf("pair %d: stream seeds collide: %#x", i, p[0])
+		}
+	}
+}

@@ -114,6 +114,7 @@ func (s *Sample) CDF() []CDFPoint {
 	var out []CDFPoint
 	for i := 0; i < n; i++ {
 		// Emit at the last occurrence of each distinct value.
+		//dibslint:ignore float-eq exact duplicate detection over stored values, not computed ones
 		if i+1 < n && s.vals[i+1] == s.vals[i] {
 			continue
 		}

@@ -10,10 +10,10 @@ package topology
 
 import (
 	"fmt"
-	"math/rand"
 
 	"dibs/internal/eventq"
 	"dibs/internal/packet"
+	"dibs/internal/rng"
 )
 
 // NodeKind distinguishes hosts from switches.
@@ -424,7 +424,7 @@ func jellyfishOnce(nSwitches, switchDegree, hostsPer int, spec LinkSpec, seed in
 	if switchDegree >= nSwitches {
 		panic("topology: jellyfish degree must be < nSwitches")
 	}
-	rng := rand.New(rand.NewSource(seed))
+	rnd := rng.New(seed, "topology/jellyfish")
 	b := newBuilder(fmt.Sprintf("jellyfish-%d-%d", nSwitches, switchDegree))
 	sw := make([]packet.NodeID, nSwitches)
 	for i := range sw {
@@ -446,7 +446,7 @@ func jellyfishOnce(nSwitches, switchDegree, hostsPer int, spec LinkSpec, seed in
 			stubs = append(stubs, i)
 		}
 	}
-	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	rnd.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
 	connect := func(a, bb int) {
 		adj[a][bb] = true
 		adj[bb][a] = true
@@ -470,7 +470,7 @@ func jellyfishOnce(nSwitches, switchDegree, hostsPer int, spec LinkSpec, seed in
 		a, bb := leftover[i], leftover[i+1]
 		repaired := false
 		for try := 0; try < 100*len(edges) && !repaired; try++ {
-			ei := rng.Intn(len(edges))
+			ei := rnd.Intn(len(edges))
 			e := edges[ei]
 			// Replace (e.a,e.b) with (a,e.a) and (bb,e.b) if valid.
 			if a != e.a && bb != e.b && !adj[a][e.a] && !adj[bb][e.b] && a != bb {

@@ -56,6 +56,7 @@ func NewSizeDist(points []SizePoint) *SizeDist {
 			panic("workload: size points must be strictly increasing")
 		}
 	}
+	//dibslint:ignore float-eq CDF knots are literal constants; the endpoint must be exactly 1
 	if points[len(points)-1].F != 1 {
 		panic("workload: final CDF point must be 1")
 	}

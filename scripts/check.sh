@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# check.sh — the full local gate, in the order a CI pipeline would run it.
+# Every step must pass; the script stops at the first failure.
+#
+#   fmt   gofmt on every tracked .go file (fails listing unformatted files)
+#   vet   go vet across the module
+#   lint  dibslint: the simulator's own determinism / virtual-time rules
+#   build go build everything, including cmd/ and examples/
+#   test  full test suite (use SHORT=1 for the quick subset)
+#   race  race detector over the fast packages (RACE=0 to skip)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() { printf '\n== %s\n' "$*"; }
+
+step "gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+step "go vet"
+go vet ./...
+
+step "dibslint"
+go run ./cmd/dibslint ./...
+
+step "go build"
+go build ./...
+
+step "go test"
+if [ "${SHORT:-0}" = "1" ]; then
+    go test -short ./...
+else
+    go test ./...
+fi
+
+if [ "${RACE:-1}" = "1" ]; then
+    step "go test -race (short)"
+    go test -race -short ./...
+fi
+
+printf '\nall checks passed\n'
