@@ -1,0 +1,214 @@
+// Command bench produces and checks the repository's tracked performance
+// baseline (BENCH_N.json).
+//
+// It runs the two headline Go benchmarks (BenchmarkSimulatorThroughput,
+// BenchmarkIncastBurst) as a `go test -bench` subprocess, times a fixed
+// small-scale fig08+fig09 pass and a full `-all -scale 0.1` experiments
+// pass in-process, and writes the numbers as JSON.
+//
+// Usage:
+//
+//	bench -out BENCH_3.json              # measure and write the baseline
+//	bench -compare BENCH_3.json          # measure and gate: exit 1 on a
+//	                                     # >20% events/sec regression
+//	bench -out B.json -skip-all          # skip the slow -all pass
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"time"
+
+	"dibs/internal/experiments"
+)
+
+// Baseline is the tracked benchmark snapshot.
+type Baseline struct {
+	GoVersion  string                 `json:"go_version"`
+	GOMAXPROCS int                    `json:"gomaxprocs"`
+	Benchmarks map[string]BenchResult `json:"benchmarks"`
+	// Fig0809Seconds is the wall time of a fig08+fig09 pass at seed 1,
+	// scale 0.1, default workers.
+	Fig0809Seconds float64 `json:"fig08_09_seconds"`
+	// AllScale01Seconds is the wall time of every experiment at scale 0.1
+	// (the `cmd/figures -all -scale 0.1` workload), default workers.
+	AllScale01Seconds float64 `json:"all_scale_0.1_seconds"`
+}
+
+// BenchResult is one parsed `go test -bench` line.
+type BenchResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// EventsPerSec is derived from the benchmark's events/op metric; only
+	// BenchmarkSimulatorThroughput reports it.
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+}
+
+// regressionTolerance is the fraction of the baseline events/sec a new
+// measurement may lose before -compare fails the run.
+const regressionTolerance = 0.20
+
+func main() {
+	var (
+		out     = flag.String("out", "", "write the measured baseline to this JSON file")
+		compare = flag.String("compare", "", "baseline JSON to gate against (>20% events/sec regression fails)")
+		skipAll = flag.Bool("skip-all", false, "skip the full -all -scale 0.1 experiments pass")
+	)
+	flag.Parse()
+	if *out == "" && *compare == "" {
+		fmt.Fprintln(os.Stderr, "bench: need -out and/or -compare")
+		os.Exit(2)
+	}
+
+	b := Baseline{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchmarks: map[string]BenchResult{},
+	}
+
+	fmt.Fprintln(os.Stderr, "== go test -bench (throughput, incast)")
+	if err := runGoBench(&b); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Fprintln(os.Stderr, "== fig08+fig09 pass (scale 0.1)")
+	b.Fig0809Seconds = timeExperiments([]string{"fig08", "fig09"})
+	fmt.Fprintf(os.Stderr, "   %.1fs\n", b.Fig0809Seconds)
+
+	if !*skipAll {
+		fmt.Fprintln(os.Stderr, "== all experiments (scale 0.1)")
+		var ids []string
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+		b.AllScale01Seconds = timeExperiments(ids)
+		fmt.Fprintf(os.Stderr, "   %.1fs\n", b.AllScale01Seconds)
+	}
+
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	os.Stdout.Write(data)
+
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+	if *compare != "" {
+		if err := gate(*compare, b); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: REGRESSION: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "no regression vs %s\n", *compare)
+	}
+}
+
+// benchLineRe matches `go test -bench` result lines, e.g.
+// BenchmarkSimulatorThroughput-4  5  244034957 ns/op  425379 events/op  42216896 B/op  1389550 allocs/op
+var benchLineRe = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+var metricRe = regexp.MustCompile(`([\d.e+]+)\s+(\S+)`)
+
+// runGoBench executes the headline benchmarks in a subprocess and parses
+// the results into b.
+func runGoBench(b *Baseline) error {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", "^(BenchmarkSimulatorThroughput|BenchmarkIncastBurst)$",
+		"-benchmem", ".")
+	cmd.Stderr = os.Stderr
+	outBytes, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go test -bench: %w", err)
+	}
+	for _, line := range regexp.MustCompile(`\r?\n`).Split(string(outBytes), -1) {
+		m := benchLineRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		var r BenchResult
+		var eventsPerOp float64
+		for _, mm := range metricRe.FindAllStringSubmatch(m[2], -1) {
+			v, err := strconv.ParseFloat(mm[1], 64)
+			if err != nil {
+				continue
+			}
+			switch mm[2] {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			case "events/op":
+				eventsPerOp = v
+			}
+		}
+		if eventsPerOp > 0 && r.NsPerOp > 0 {
+			r.EventsPerSec = eventsPerOp / r.NsPerOp * 1e9
+		}
+		b.Benchmarks[name] = r
+		fmt.Fprintf(os.Stderr, "   %s\n", line)
+	}
+	if _, ok := b.Benchmarks["BenchmarkSimulatorThroughput"]; !ok {
+		return fmt.Errorf("BenchmarkSimulatorThroughput missing from bench output")
+	}
+	return nil
+}
+
+// timeExperiments runs the named experiments at the fixed baseline setting
+// (seed 1, scale 0.1, default workers) and returns the wall time.
+func timeExperiments(ids []string) float64 {
+	opts := experiments.Opts{Seed: 1, Scale: 0.1}
+	start := time.Now()
+	for _, id := range ids {
+		e, ok := experiments.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "bench: unknown experiment %q\n", id)
+			os.Exit(1)
+		}
+		if tables := e.Run(opts); len(tables) == 0 {
+			fmt.Fprintf(os.Stderr, "bench: %s produced no tables\n", id)
+			os.Exit(1)
+		}
+	}
+	return time.Since(start).Seconds()
+}
+
+// gate fails when the new throughput lost more than regressionTolerance
+// versus the stored baseline.
+func gate(path string, got Baseline) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var want Baseline
+	if err := json.Unmarshal(data, &want); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	base := want.Benchmarks["BenchmarkSimulatorThroughput"].EventsPerSec
+	now := got.Benchmarks["BenchmarkSimulatorThroughput"].EventsPerSec
+	if base <= 0 {
+		return fmt.Errorf("%s has no events/sec baseline", path)
+	}
+	if now < base*(1-regressionTolerance) {
+		return fmt.Errorf("events/sec %.0f is %.1f%% below baseline %.0f (tolerance %.0f%%)",
+			now, 100*(1-now/base), base, 100*regressionTolerance)
+	}
+	fmt.Fprintf(os.Stderr, "events/sec: baseline %.0f, now %.0f (%+.1f%%)\n",
+		base, now, 100*(now/base-1))
+	return nil
+}

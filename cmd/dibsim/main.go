@@ -8,6 +8,7 @@
 //	dibsim -qps 2000 -degree 100             # intense incast
 //	dibsim -buffer 25 -policy load-aware     # small buffers, §7 policy
 //	dibsim -topo jellyfish -duration 500ms   # another topology
+//	dibsim -repeat 8 -workers 4              # 8 seeds in parallel, aggregated
 package main
 
 import (
@@ -18,6 +19,8 @@ import (
 	"time"
 
 	"dibs"
+	"dibs/internal/runner"
+	"dibs/internal/stats"
 )
 
 func main() {
@@ -44,6 +47,8 @@ func main() {
 		pfc      = flag.Bool("pfc", false, "enable Ethernet flow control (implies -bufmode shared, -dibs=false)")
 		spray    = flag.Bool("spray", false, "packet-level ECMP instead of flow-level")
 		delack   = flag.Bool("delack", false, "DCTCP delayed-ACK ECN-echo state machine")
+		repeat   = flag.Int("repeat", 1, "repeat the run over seeds seed..seed+N-1 and aggregate")
+		workers  = flag.Int("workers", 0, "parallel runs for -repeat (0 = GOMAXPROCS, 1 = serial); output is identical for any value")
 		events   = flag.String("events", "", "write a JSONL event trace to this file")
 		confIn   = flag.String("config", "", "load a JSON config file (flags apply on top where set)")
 		confOut  = flag.String("dumpconfig", "", "write the effective JSON config to this file and exit")
@@ -77,7 +82,44 @@ func main() {
 		cfg.TraceEvents = true
 	}
 
+	if *repeat > 1 {
+		if *events != "" || *confOut != "" {
+			fmt.Fprintln(os.Stderr, "-repeat is incompatible with -events and -dumpconfig")
+			os.Exit(2)
+		}
+		runRepeat(cfg, *repeat, *workers)
+		return
+	}
 	runIt(cfg, *confOut, *events)
+}
+
+// runRepeat runs the configuration across consecutive seeds — in parallel
+// when workers allows — printing per-seed summaries in seed order plus
+// aggregate tail statistics. Each run is a pure function of its seed, so
+// the output is identical for every worker count.
+func runRepeat(cfg dibs.Config, repeat, workers int) {
+	start := time.Now()
+	baseSeed := cfg.Seed
+	results := runner.Map(workers, repeat, func(i int) *dibs.Results {
+		c := cfg
+		c.Seed = baseSeed + int64(i)
+		return dibs.Build(c).Run()
+	})
+
+	var qct99, fct99, drops, detours stats.Sample
+	for i, r := range results {
+		fmt.Printf("seed %-6d %s\n", baseSeed+int64(i), r)
+		qct99.Add(r.QCT99)
+		fct99.Add(r.ShortFCT99)
+		drops.Add(float64(r.TotalDrops))
+		detours.Add(float64(r.Detours))
+	}
+	fmt.Printf("\naggregate over %d seeds (%d..%d)\n", repeat, baseSeed, baseSeed+int64(repeat)-1)
+	fmt.Printf("QCT99    mean %8.2f ms   min %8.2f   max %8.2f\n", qct99.Mean(), qct99.Min(), qct99.Max())
+	fmt.Printf("FCT99    mean %8.2f ms   min %8.2f   max %8.2f\n", fct99.Mean(), fct99.Min(), fct99.Max())
+	fmt.Printf("drops    mean %8.1f      min %8.0f   max %8.0f\n", drops.Mean(), drops.Min(), drops.Max())
+	fmt.Printf("detours  mean %8.1f      min %8.0f   max %8.0f\n", detours.Mean(), detours.Min(), detours.Max())
+	fmt.Fprintf(os.Stderr, "[wall %.1fs]\n", time.Since(start).Seconds())
 }
 
 // flags bundles the command-line tuning knobs.

@@ -34,6 +34,7 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "duration scale factor (smaller = faster, noisier)")
 		verbose = flag.Bool("v", false, "log each simulation run")
 		format  = flag.String("format", "text", "output format: text|json|csv")
+		workers = flag.Int("workers", 0, "parallel sweep runs (0 = GOMAXPROCS, 1 = serial); output is identical for any value")
 	)
 	flag.Parse()
 
@@ -57,7 +58,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := experiments.Opts{Seed: *seed, Scale: *scale}
+	opts := experiments.Opts{Seed: *seed, Scale: *scale, Workers: *workers}
 	if *verbose {
 		opts.Log = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)

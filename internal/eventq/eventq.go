@@ -1,14 +1,19 @@
 // Package eventq implements the discrete-event core of the simulator: a
-// virtual clock with nanosecond resolution and a binary-heap scheduler.
+// virtual clock with nanosecond resolution and a 4-ary-heap scheduler.
 //
 // All simulator components (links, switches, transport timers, workload
 // generators) advance exclusively by scheduling callbacks on a single
 // Scheduler. Events scheduled for the same instant run in FIFO order of
 // scheduling, which keeps runs deterministic for a fixed seed.
+//
+// The hot path is allocation-lean: popped and canceled events are recycled
+// through a per-Scheduler freelist, so a steady-state run allocates no new
+// event nodes. Timer handles are plain values carrying a generation
+// counter; a handle to a recycled event is detected as stale and every
+// operation on it is a safe no-op.
 package eventq
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -57,78 +62,80 @@ func (t Time) String() string {
 }
 
 // event is a scheduled callback. seq breaks ties between events at the same
-// virtual instant so that scheduling order is execution order.
+// virtual instant so that scheduling order is execution order. gen counts
+// how many times the node has been recycled through the freelist; a Timer
+// carrying an older gen is stale and operates as a no-op.
 type event struct {
 	at       Time
 	seq      uint64
 	fn       func()
+	gen      uint32
 	canceled bool
-	index    int // heap index, -1 once popped
+	index    int32 // heap index, -1 once popped or recycled
 }
 
-// Timer is a handle to a scheduled event that can be canceled or queried.
-type Timer struct{ ev *event }
+// Timer is a value handle to a scheduled event that can be canceled or
+// queried. The zero Timer is valid: Cancel and Pending report false, When
+// reports 0. A Timer outliving its event (fired or canceled-and-swept, node
+// recycled) is detected via the generation counter and behaves the same.
+type Timer struct {
+	s   *Scheduler
+	ev  *event
+	gen uint32
+}
+
+// live reports whether the handle still refers to its original scheduling.
+func (t Timer) live() bool {
+	return t.ev != nil && t.ev.gen == t.gen
+}
 
 // Cancel prevents the timer's callback from running. Canceling an already
 // fired or already canceled timer is a no-op. Cancel reports whether the
 // callback was still pending.
-func (t *Timer) Cancel() bool {
-	if t == nil || t.ev == nil || t.ev.canceled || t.ev.index == -1 {
+func (t Timer) Cancel() bool {
+	if !t.live() || t.ev.canceled || t.ev.index < 0 {
 		return false
 	}
 	t.ev.canceled = true
+	t.s.tombstones++
+	// Retransmit-style timers are canceled far more often than they fire;
+	// once tombstones dominate the heap, compact it so pops stay O(log n)
+	// over live events and the nodes return to the freelist.
+	if t.s.tombstones*2 > len(t.s.heap) {
+		t.s.sweep()
+	}
 	return true
 }
 
 // Pending reports whether the timer's callback has neither fired nor been
 // canceled.
-func (t *Timer) Pending() bool {
-	return t != nil && t.ev != nil && !t.ev.canceled && t.ev.index != -1
+func (t Timer) Pending() bool {
+	return t.live() && !t.ev.canceled && t.ev.index >= 0
 }
 
-// When returns the virtual time the timer is scheduled for.
-func (t *Timer) When() Time { return t.ev.at }
-
-// eventHeap orders events by (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// When returns the virtual time the timer is scheduled for, or 0 for a zero
+// Timer or one whose event has already fired or been canceled.
+func (t Timer) When() Time {
+	if !t.live() {
+		return 0
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+	return t.ev.at
 }
 
 // Scheduler is a single-threaded discrete-event scheduler. It is not safe
-// for concurrent use; the simulator is deliberately single-threaded so runs
-// are reproducible.
+// for concurrent use; each simulation is deliberately single-threaded so
+// runs are reproducible (parallelism lives above whole runs, in
+// internal/runner).
 type Scheduler struct {
-	now      Time
-	seq      uint64
-	heap     eventHeap
-	executed uint64
-	running  bool
-	stopped  bool
+	now  Time
+	seq  uint64
+	heap []*event // 4-ary min-heap ordered by (at, seq)
+	free []*event // recycled event nodes
+	// tombstones counts canceled events still occupying heap slots.
+	tombstones int
+	executed   uint64
+	running    bool
+	stopped    bool
 }
 
 // NewScheduler returns a scheduler with the clock at zero.
@@ -148,18 +155,17 @@ func (s *Scheduler) Executed() uint64 { return s.executed }
 
 // At schedules fn to run at absolute virtual time at. Scheduling in the past
 // panics: that is always a simulator bug, not a recoverable condition.
-func (s *Scheduler) At(at Time, fn func()) *Timer {
+func (s *Scheduler) At(at Time, fn func()) Timer {
 	if at < s.now {
 		panic(fmt.Sprintf("eventq: scheduling at %v before now %v", at, s.now))
 	}
-	ev := &event{at: at, seq: s.seq, fn: fn}
-	s.seq++
-	heap.Push(&s.heap, ev)
-	return &Timer{ev: ev}
+	ev := s.alloc(at, fn)
+	s.push(ev)
+	return Timer{s: s, ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d after the current time.
-func (s *Scheduler) After(d Time, fn func()) *Timer {
+func (s *Scheduler) After(d Time, fn func()) Timer {
 	if d < 0 {
 		panic(fmt.Sprintf("eventq: negative delay %d", d))
 	}
@@ -169,6 +175,137 @@ func (s *Scheduler) After(d Time, fn func()) *Timer {
 // Stop halts Run/RunUntil after the currently executing event returns.
 func (s *Scheduler) Stop() { s.stopped = true }
 
+// alloc takes an event node off the freelist (or makes one) and stamps it.
+func (s *Scheduler) alloc(at Time, fn func()) *event {
+	var ev *event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at, ev.seq, ev.fn = at, s.seq, fn
+	s.seq++
+	return ev
+}
+
+// release bumps the node's generation — invalidating every outstanding
+// Timer to it — and returns it to the freelist.
+func (s *Scheduler) release(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.canceled = false
+	ev.index = -1
+	s.free = append(s.free, ev)
+}
+
+// less orders events by (at, seq): time first, scheduling order within an
+// instant. seq is unique, so the order is total and runs are deterministic
+// regardless of heap layout.
+func less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push appends ev and restores the heap property by sifting up. The 4-ary
+// layout (children of i at 4i+1..4i+4) halves tree depth versus a binary
+// heap, trading slightly pricier sift-downs for much cheaper inserts —
+// the right trade for a scheduler where most events are pushed once and
+// popped once in rough time order.
+func (s *Scheduler) push(ev *event) {
+	i := len(s.heap)
+	s.heap = append(s.heap, ev)
+	for i > 0 {
+		p := (i - 1) / 4
+		if !less(ev, s.heap[p]) {
+			break
+		}
+		s.heap[i] = s.heap[p]
+		s.heap[i].index = int32(i)
+		i = p
+	}
+	s.heap[i] = ev
+	ev.index = int32(i)
+}
+
+// siftDown restores the heap property from slot i downward.
+func (s *Scheduler) siftDown(i int) {
+	ev := s.heap[i]
+	n := len(s.heap)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if less(s.heap[c], s.heap[best]) {
+				best = c
+			}
+		}
+		if !less(s.heap[best], ev) {
+			break
+		}
+		s.heap[i] = s.heap[best]
+		s.heap[i].index = int32(i)
+		i = best
+	}
+	s.heap[i] = ev
+	ev.index = int32(i)
+}
+
+// popMin removes and returns the earliest event.
+func (s *Scheduler) popMin() *event {
+	ev := s.heap[0]
+	n := len(s.heap) - 1
+	last := s.heap[n]
+	s.heap[n] = nil
+	s.heap = s.heap[:n]
+	if n > 0 && last != ev {
+		s.heap[0] = last
+		s.siftDown(0)
+	}
+	ev.index = -1
+	return ev
+}
+
+// sweep compacts canceled events out of the heap and rebuilds it in place.
+// The (at, seq) order is total, so pop order — and therefore simulation
+// output — is identical whatever the intermediate heap layout.
+func (s *Scheduler) sweep() {
+	live := s.heap[:0]
+	for _, ev := range s.heap {
+		if ev.canceled {
+			s.release(ev)
+		} else {
+			live = append(live, ev)
+		}
+	}
+	// Clear the tail so released nodes are not pinned by the backing array.
+	for i := len(live); i < len(s.heap); i++ {
+		s.heap[i] = nil
+	}
+	s.heap = live
+	for i, ev := range s.heap {
+		ev.index = int32(i)
+	}
+	// Note (n-2)/4 truncates toward zero, so guard the small cases rather
+	// than relying on the loop bound going negative.
+	if n := len(s.heap); n > 1 {
+		for i := (n - 2) / 4; i >= 0; i-- {
+			s.siftDown(i)
+		}
+	}
+	s.tombstones = 0
+}
+
 // step pops and runs the next event. Returns false when the queue is empty
 // or the next event is beyond limit.
 func (s *Scheduler) step(limit Time) bool {
@@ -177,13 +314,19 @@ func (s *Scheduler) step(limit Time) bool {
 		if next.at > limit {
 			return false
 		}
-		heap.Pop(&s.heap)
+		s.popMin()
 		if next.canceled {
+			s.tombstones--
+			s.release(next)
 			continue
 		}
-		s.now = next.at
+		at, fn := next.at, next.fn
+		// Recycle before running: fn may schedule and the node can serve
+		// the new event immediately; the old handle's gen is already stale.
+		s.release(next)
+		s.now = at
 		s.executed++
-		next.fn()
+		fn()
 		return true
 	}
 	return false

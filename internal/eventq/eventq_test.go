@@ -223,7 +223,7 @@ func TestQuickCancelSubset(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		s := NewScheduler()
 		fired := make(map[int]bool)
-		timers := make([]*Timer, n)
+		timers := make([]Timer, n)
 		for i := 0; i < int(n); i++ {
 			i := i
 			timers[i] = s.At(Time(rng.Intn(1000)), func() { fired[i] = true })
@@ -338,12 +338,156 @@ func TestNestedSameInstantRunsAfterQueued(t *testing.T) {
 	}
 }
 
+// TestTimerWhenZeroValue is the regression test for the When() nil
+// dereference: a zero Timer (never scheduled) must report 0, exactly like
+// Cancel and Pending tolerate the zero value.
+func TestTimerWhenZeroValue(t *testing.T) {
+	var tm Timer
+	if got := tm.When(); got != 0 {
+		t.Fatalf("zero Timer When = %v, want 0", got)
+	}
+	if tm.Cancel() {
+		t.Fatal("zero Timer Cancel should report false")
+	}
+	if tm.Pending() {
+		t.Fatal("zero Timer Pending should report false")
+	}
+}
+
+// TestTimerWhenAfterFire pins that a fired timer's When reports 0 rather
+// than the stale scheduled time of whatever event recycled its node.
+func TestTimerWhenAfterFire(t *testing.T) {
+	s := NewScheduler()
+	tm := s.At(42, func() {})
+	s.Run()
+	if got := tm.When(); got != 0 {
+		t.Fatalf("fired Timer When = %v, want 0", got)
+	}
+}
+
+// TestStaleHandleAfterRecycle pins the generation counter: once a timer's
+// event node has been recycled to back a *different* event, the old handle
+// must stay inert — Cancel must not kill the new event, Pending/When must
+// not report the new event's state.
+func TestStaleHandleAfterRecycle(t *testing.T) {
+	s := NewScheduler()
+	old := s.At(10, func() {})
+	s.RunUntil(10) // fires old; its node goes to the freelist
+	ran := false
+	fresh := s.At(50, func() { ran = true }) // reuses the recycled node
+	if old.Pending() {
+		t.Fatal("stale handle reports Pending for recycled node")
+	}
+	if old.When() != 0 {
+		t.Fatalf("stale handle When = %v, want 0", old.When())
+	}
+	if old.Cancel() {
+		t.Fatal("stale handle Cancel reported true")
+	}
+	if !fresh.Pending() {
+		t.Fatal("stale Cancel killed the new event")
+	}
+	s.Run()
+	if !ran {
+		t.Fatal("new event did not run after stale Cancel")
+	}
+}
+
+// TestCanceledThenSweptHandle pins that handles to canceled events stay
+// inert after the tombstone sweep recycles their nodes mid-queue.
+func TestCanceledThenSweptHandle(t *testing.T) {
+	s := NewScheduler()
+	var timers []Timer
+	ran := 0
+	for i := 0; i < 100; i++ {
+		timers = append(timers, s.At(Time(100+i), func() { ran++ }))
+	}
+	// Cancel well past half the heap to force at least one sweep.
+	for i := 0; i < 80; i++ {
+		timers[i].Cancel()
+	}
+	for i := 0; i < 80; i++ {
+		if timers[i].Pending() {
+			t.Fatalf("canceled timer %d still pending after sweep", i)
+		}
+		if timers[i].Cancel() {
+			t.Fatalf("re-Cancel of swept timer %d reported true", i)
+		}
+	}
+	for i := 80; i < 100; i++ {
+		if !timers[i].Pending() {
+			t.Fatalf("live timer %d lost by sweep", i)
+		}
+	}
+	s.Run()
+	if ran != 20 {
+		t.Fatalf("ran = %d, want 20", ran)
+	}
+}
+
+// TestSweepPreservesOrder pins that the tombstone sweep's re-heapify does
+// not perturb the (at, seq) pop order, including same-instant FIFO ties.
+func TestSweepPreservesOrder(t *testing.T) {
+	s := NewScheduler()
+	var timers []Timer
+	var got []int
+	for i := 0; i < 200; i++ {
+		i := i
+		at := Time(1000 + 10*(i%7)) // many ties across several instants
+		timers = append(timers, s.At(at, func() { got = append(got, i) }))
+	}
+	for i := 0; i < 200; i += 2 { // cancel half: triggers sweeps
+		timers[i].Cancel()
+	}
+	s.Run()
+	var want []int
+	for at := 0; at < 7; at++ {
+		for i := 1; i < 200; i += 2 {
+			if i%7 == at {
+				want = append(want, i)
+			}
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sweep perturbed order at %d: got %v, want %v", i, got[:i+1], want[:i+1])
+		}
+	}
+}
+
+// TestFreelistRecycles pins the allocation-lean claim: steady-state
+// schedule/fire churn must reuse nodes instead of growing the freelist or
+// allocating fresh ones.
+func TestFreelistRecycles(t *testing.T) {
+	s := NewScheduler()
+	var chain func()
+	n := 0
+	chain = func() {
+		if n++; n < 1000 {
+			s.After(1, chain)
+		}
+	}
+	s.After(1, chain)
+	s.Run()
+	if n != 1000 {
+		t.Fatalf("chain ran %d times", n)
+	}
+	// One event in flight at a time: the freelist should hold exactly the
+	// one recycled node, not a thousand.
+	if len(s.free) != 1 {
+		t.Fatalf("freelist holds %d nodes, want 1", len(s.free))
+	}
+}
+
 // TestCancelDoesNotDisturbTieOrder pins that canceling one event in a tied
 // group leaves the remaining events in insertion order.
 func TestCancelDoesNotDisturbTieOrder(t *testing.T) {
 	s := NewScheduler()
 	var got []int
-	var timers []*Timer
+	var timers []Timer
 	for i := 0; i < 20; i++ {
 		i := i
 		timers = append(timers, s.At(77, func() { got = append(got, i) }))

@@ -18,6 +18,7 @@ import (
 
 	"dibs/internal/eventq"
 	"dibs/internal/netsim"
+	"dibs/internal/runner"
 )
 
 // Opts controls experiment scale and logging.
@@ -27,6 +28,10 @@ type Opts struct {
 	// Scale multiplies traffic-generation durations; 1.0 is the standard
 	// scale used in EXPERIMENTS.md, smaller values run faster (benches).
 	Scale float64
+	// Workers bounds how many sweep points run concurrently; <=0 means
+	// GOMAXPROCS, 1 forces the serial reference path. Results and log
+	// lines are identical for every value — see internal/runner.
+	Workers int
 	// Log, when non-nil, receives progress lines.
 	Log func(format string, args ...any)
 }
@@ -200,4 +205,36 @@ func (o *Opts) run(label string, cfg netsim.Config) *netsim.Results {
 	r := netsim.Build(cfg).Run()
 	o.logf("%-40s %s", label, r)
 	return r
+}
+
+// point is one independent run of a sweep: a label plus a frozen Config.
+// Sweeps declare their full point list up front and hand it to runPoints,
+// which is what lets the runner execute them on several cores.
+type point struct {
+	label string
+	cfg   netsim.Config
+}
+
+// bothArms appends the DIBS-off and DIBS-on arms of one sweep setting, the
+// common shape of the paper's figures.
+func bothArms(points []point, label string, cfg netsim.Config) []point {
+	cfg.DIBS = false
+	points = append(points, point{label + "/dctcp", cfg})
+	cfg.DIBS = true
+	points = append(points, point{label + "/dibs", cfg})
+	return points
+}
+
+// runPoints executes the declared points — in parallel when o.Workers
+// allows — and returns results in point order. Each run is a pure function
+// of its Config, and log lines are emitted after collection in point
+// order, so output is byte-identical for every worker count.
+func (o *Opts) runPoints(points []point) []*netsim.Results {
+	results := runner.Map(o.Workers, len(points), func(i int) *netsim.Results {
+		return netsim.Build(points[i].cfg).Run()
+	})
+	for i, r := range results {
+		o.logf("%-40s %s", points[i].label, r)
+	}
+	return results
 }

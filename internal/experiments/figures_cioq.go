@@ -29,7 +29,9 @@ func cioq(o Opts) []*Table {
 			"drops-cioq-dctcp", "drops-cioq-dibs",
 		},
 	}
-	for _, deg := range []int{40, 70, 100} {
+	degrees := []int{40, 70, 100}
+	var points []point
+	for _, deg := range degrees {
 		mk := func(arch netsim.SwitchArch) netsim.Config {
 			cfg := o.paperConfig(300 * eventq.Millisecond)
 			cfg.Query = &workload.QueryConfig{QPS: 300, Degree: deg, ResponseBytes: 20_000}
@@ -40,8 +42,12 @@ func cioq(o Opts) []*Table {
 			}
 			return cfg
 		}
-		oqD, oqB := sweepBothArms(&o, fmt.Sprintf("cioq deg=%d oq", deg), mk(netsim.ArchOutputQueued))
-		ciD, ciB := sweepBothArms(&o, fmt.Sprintf("cioq deg=%d cioq", deg), mk(netsim.ArchCIOQ))
+		points = bothArms(points, fmt.Sprintf("cioq deg=%d oq", deg), mk(netsim.ArchOutputQueued))
+		points = bothArms(points, fmt.Sprintf("cioq deg=%d cioq", deg), mk(netsim.ArchCIOQ))
+	}
+	res := o.runPoints(points)
+	for i, deg := range degrees {
+		oqD, oqB, ciD, ciB := res[4*i], res[4*i+1], res[4*i+2], res[4*i+3]
 		t.AddRow(fmt.Sprintf("%d", deg),
 			oqD.QCT99, oqB.QCT99, ciD.QCT99, ciB.QCT99,
 			float64(ciD.TotalDrops), float64(ciB.NetworkDrops()))

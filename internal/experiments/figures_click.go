@@ -6,6 +6,7 @@ import (
 	"dibs/internal/eventq"
 	"dibs/internal/metrics"
 	"dibs/internal/netsim"
+	"dibs/internal/runner"
 	"dibs/internal/stats"
 )
 
@@ -46,9 +47,10 @@ func fig06(o Opts) []*Table {
 		Columns: []string{"flow-p50(ms)", "flow-p99(ms)", "flow-max(ms)", "timeouts", "drops"},
 	}
 
+	// The full mode x seed grid is one flat list of independent runs; the
+	// runner spreads it over cores and hands results back in grid order.
+	cfgs := make([]netsim.Config, 0, len(modes)*runs)
 	for _, m := range modes {
-		var qcts, fcts stats.Sample
-		var timeouts, drops uint64
 		for run := 0; run < runs; run++ {
 			cfg := netsim.DefaultConfig()
 			cfg.Topo = netsim.TopoClick
@@ -73,7 +75,18 @@ func fig06(o Opts) []*Table {
 			}
 			cfg.Duration = 10 * eventq.Millisecond
 			cfg.Drain = 800 * eventq.Millisecond
-			r := netsim.Build(cfg).Run()
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results := runner.Map(o.Workers, len(cfgs), func(i int) *netsim.Results {
+		return netsim.Build(cfgs[i]).Run()
+	})
+
+	for mi, m := range modes {
+		var qcts, fcts stats.Sample
+		var timeouts, drops uint64
+		for run := 0; run < runs; run++ {
+			r := results[mi*runs+run]
 			if r.QueriesDone != 1 {
 				o.logf("fig06 %s run %d: incast incomplete (%s)", m.name, run, r)
 				continue

@@ -31,7 +31,9 @@ func fig16(o Opts) []*Table {
 		XLabel:  "qps",
 		Columns: []string{"QCT99-pfabric(ms)", "QCT99-dibs(ms)"},
 	}
-	for _, qps := range []float64{300, 500, 1000, 1500, 2000} {
+	rates := []float64{300, 500, 1000, 1500, 2000}
+	var points []point
+	for _, qps := range rates {
 		base := o.paperConfig(400 * eventq.Millisecond)
 		base.Query = &workload.QueryConfig{QPS: qps, Degree: 40, ResponseBytes: 20_000}
 
@@ -41,11 +43,12 @@ func fig16(o Opts) []*Table {
 		pf.BufferPkts = 24
 		pf.MarkAtPkts = 0
 		pf.Transport = transport.PFabric
-		pfr := o.run(fmt.Sprintf("fig16 qps=%g pfabric", qps), pf)
-
-		db := base
-		dbr := o.run(fmt.Sprintf("fig16 qps=%g dibs", qps), db)
-
+		points = append(points, point{fmt.Sprintf("fig16 qps=%g pfabric", qps), pf})
+		points = append(points, point{fmt.Sprintf("fig16 qps=%g dibs", qps), base})
+	}
+	res := o.runPoints(points)
+	for i, qps := range rates {
+		pfr, dbr := res[2*i], res[2*i+1]
 		x := fmt.Sprintf("%g", qps)
 		a.AddRow(x, pfr.ShortFCT99, dbr.ShortFCT99, pfr.BGFCT99, dbr.BGFCT99)
 		b.AddRow(x, pfr.QCT99, dbr.QCT99)
@@ -63,7 +66,9 @@ func fair(o Opts) []*Table {
 		XLabel:  "flows-per-pair",
 		Columns: []string{"jain-adjacent-pairs", "jain-shuffled-pairs"},
 	}
-	for _, n := range []int{1, 2, 4, 8, 16} {
+	counts := []int{1, 2, 4, 8, 16}
+	var points []point
+	for _, n := range counts {
 		base := o.paperConfig(150 * eventq.Millisecond)
 		base.Drain = 0
 		base.BGInterarrival = 0
@@ -71,12 +76,15 @@ func fair(o Opts) []*Table {
 
 		adj := base
 		adj.Long = &netsim.LongFlows{PerPair: n}
-		ra := o.run(fmt.Sprintf("fair n=%d adjacent", n), adj)
+		points = append(points, point{fmt.Sprintf("fair n=%d adjacent", n), adj})
 
 		sh := base
 		sh.Long = &netsim.LongFlows{PerPair: n, Shuffle: true}
-		rs := o.run(fmt.Sprintf("fair n=%d shuffled", n), sh)
-
+		points = append(points, point{fmt.Sprintf("fair n=%d shuffled", n), sh})
+	}
+	res := o.runPoints(points)
+	for i, n := range counts {
+		ra, rs := res[2*i], res[2*i+1]
 		t.AddRow(fmt.Sprintf("%d", n), ra.JainIndex, rs.JainIndex)
 	}
 	t.Note("paper: Jain's index > 0.9 for all N (node-disjoint pairs). Shuffled pairing adds ECMP path collisions — a harder setting beyond the paper — and shows where flow-level ECMP, not DIBS, causes unfairness")
@@ -101,11 +109,16 @@ func policies(o Opts) []*Table {
 		{"flow-based", func(c *netsim.Config) { c.Policy = netsim.PolicyFlowBased }},
 		{"probabilistic", func(c *netsim.Config) { c.Policy = netsim.PolicyProbabilistic }},
 	}
+	var points []point
 	for _, arm := range arms {
 		cfg := o.paperConfig(300 * eventq.Millisecond)
 		cfg.Query = &workload.QueryConfig{QPS: 1000, Degree: 40, ResponseBytes: 20_000}
 		arm.mut(&cfg)
-		r := o.run("policies "+arm.name, cfg)
+		points = append(points, point{"policies " + arm.name, cfg})
+	}
+	res := o.runPoints(points)
+	for i, arm := range arms {
+		r := res[i]
 		t.AddRow(arm.name, r.QCT99, r.ShortFCT99, float64(r.Detours), float64(r.NetworkDrops()))
 	}
 	t.Note("paper §7 proposes these variants without evaluating them; random is the parameter-free default and the others trade small QCT differences for implementation complexity")
@@ -143,18 +156,21 @@ func topos(o Opts) []*Table {
 			c.LinearHostsPer = 4
 		}},
 	}
-	for _, arm := range arms {
+	hosts := make([]int, len(arms))
+	var points []point
+	for i, arm := range arms {
 		cfg := o.paperConfig(300 * eventq.Millisecond)
 		cfg.BGInterarrival = 0
 		cfg.Query = &workload.QueryConfig{QPS: 500, Degree: 10, ResponseBytes: 20_000}
 		arm.mut(&cfg)
-		hosts := 0
-		{
-			probe := netsim.Build(cfg)
-			hosts = len(probe.Topo.Hosts())
-		}
-		dctcp, dibs := sweepBothArms(&o, "topos "+arm.name, cfg)
-		t.AddRow(arm.name, float64(hosts), dctcp.QCT99, dibs.QCT99,
+		// Topology-size probe: a Build without Run is cheap, keep it serial.
+		hosts[i] = len(netsim.Build(cfg).Topo.Hosts())
+		points = bothArms(points, "topos "+arm.name, cfg)
+	}
+	res := o.runPoints(points)
+	for i, arm := range arms {
+		dctcp, dibs := res[2*i], res[2*i+1]
+		t.AddRow(arm.name, float64(hosts[i]), dctcp.QCT99, dibs.QCT99,
 			float64(dctcp.TotalDrops), float64(dibs.NetworkDrops()))
 	}
 	t.Note("paper §7: richer path diversity (HyperX, Jellyfish) gives DIBS more detour options; even the linear chain works, detouring backwards (footnote 10)")
@@ -169,15 +185,22 @@ func dupack(o Opts) []*Table {
 		XLabel:  "dupack-threshold",
 		Columns: []string{"QCT99(ms)", "FCT99(ms)", "spurious-rexmits", "timeouts"},
 	}
-	for _, th := range []int{0, 3, 10, 20} {
+	threshes := []int{0, 3, 10, 20}
+	labels := make([]string, len(threshes))
+	var points []point
+	for i, th := range threshes {
 		cfg := o.paperConfig(300 * eventq.Millisecond)
 		cfg.DupAckThresh = th
-		label := fmt.Sprintf("%d", th)
+		labels[i] = fmt.Sprintf("%d", th)
 		if th == 0 {
-			label = "disabled"
+			labels[i] = "disabled"
 		}
-		r := o.run("dupack "+label, cfg)
-		t.AddRow(label, r.QCT99, r.ShortFCT99, float64(r.Retransmits), float64(r.Timeouts))
+		points = append(points, point{"dupack " + labels[i], cfg})
+	}
+	res := o.runPoints(points)
+	for i := range threshes {
+		r := res[i]
+		t.AddRow(labels[i], r.QCT99, r.ShortFCT99, float64(r.Retransmits), float64(r.Timeouts))
 	}
 	t.Note("paper: detour-induced reordering makes threshold 3 fire spurious fast retransmits; a threshold >= 10 (or disabling it) suffices")
 	return []*Table{t}

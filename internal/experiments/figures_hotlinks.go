@@ -6,6 +6,7 @@ import (
 	"dibs/internal/eventq"
 	"dibs/internal/netsim"
 	"dibs/internal/packet"
+	"dibs/internal/runner"
 	"dibs/internal/stats"
 	"dibs/internal/topology"
 	"dibs/internal/workload"
@@ -27,20 +28,32 @@ var hotWorkloads = []struct {
 	{"extreme-10000qps", 10000, 80 * eventq.Millisecond},
 }
 
-// runHotWorkload builds and runs one monitored workload, returning the
-// network for monitor access.
-func runHotWorkload(o *Opts, qps float64, base eventq.Time, buffers bool) *netsim.Network {
-	cfg := o.paperConfig(base)
-	cfg.Query = &workload.QueryConfig{QPS: qps, Degree: 40, ResponseBytes: 20_000}
-	cfg.UtilWindow = 10 * eventq.Millisecond
-	if buffers {
-		cfg.BufferSamplePeriod = 10 * eventq.Millisecond
+// hotRun is one monitored workload run: the network (for monitor access)
+// plus its results (for the log line).
+type hotRun struct {
+	net *netsim.Network
+	res *netsim.Results
+}
+
+// runHotWorkloads runs all three paper workloads through the runner,
+// returning networks in workload order; log lines follow collection order.
+func runHotWorkloads(o *Opts, buffers bool) []hotRun {
+	runs := runner.Map(o.Workers, len(hotWorkloads), func(i int) hotRun {
+		w := hotWorkloads[i]
+		cfg := o.paperConfig(w.base)
+		cfg.Query = &workload.QueryConfig{QPS: w.qps, Degree: 40, ResponseBytes: 20_000}
+		cfg.UtilWindow = 10 * eventq.Millisecond
+		if buffers {
+			cfg.BufferSamplePeriod = 10 * eventq.Millisecond
+		}
+		cfg.Drain = 100 * eventq.Millisecond
+		n := netsim.Build(cfg)
+		return hotRun{net: n, res: n.Run()}
+	})
+	for i, r := range runs {
+		o.logf("hotlinks qps=%g: %s", hotWorkloads[i].qps, r.res)
 	}
-	cfg.Drain = 100 * eventq.Millisecond
-	n := netsim.Build(cfg)
-	r := n.Run()
-	o.logf("hotlinks qps=%g: %s", qps, r)
-	return n
+	return runs
 }
 
 // hotThreshold matches the paper's Fig. 4 criterion: utilization >= 90%.
@@ -55,10 +68,9 @@ func fig04(o Opts) []*Table {
 		Columns: []string{"baseline-300qps", "heavy-2000qps", "extreme-10000qps"},
 	}
 	var samples []*stats.Sample
-	for _, w := range hotWorkloads {
-		n := runHotWorkload(&o, w.qps, w.base, false)
+	for _, run := range runHotWorkloads(&o, false) {
 		var s stats.Sample
-		s.AddAll(n.Util.HotFractions(hotThreshold))
+		s.AddAll(run.net.Util.HotFractions(hotThreshold))
 		samples = append(samples, &s)
 	}
 	for _, x := range []float64{0, 0.01, 0.02, 0.05, 0.10, 0.20, 0.50} {
@@ -85,9 +97,8 @@ func fig05(o Opts) []*Table {
 		},
 	}
 	var samples []*stats.Sample
-	for _, w := range hotWorkloads {
-		n := runHotWorkload(&o, w.qps, w.base, true)
-		one, two := neighborhoodAvailability(n)
+	for _, run := range runHotWorkloads(&o, true) {
+		one, two := neighborhoodAvailability(run.net)
 		samples = append(samples, one, two)
 	}
 	for _, x := range []float64{0.2, 0.4, 0.6, 0.8, 0.9, 0.95, 1.0} {

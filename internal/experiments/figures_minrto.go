@@ -28,10 +28,16 @@ func minrto(o Opts) []*Table {
 		XLabel:  "minRTO(ms)",
 		Columns: []string{"QCT99-dctcp(ms)", "QCT99-dibs(ms)", "timeouts-dctcp", "timeouts-dibs"},
 	}
-	for _, rto := range []eventq.Time{1, 2, 5, 10, 20} {
+	rtos := []eventq.Time{1, 2, 5, 10, 20}
+	var points []point
+	for _, rto := range rtos {
 		cfg := o.paperConfig(400 * eventq.Millisecond)
 		cfg.MinRTO = rto * eventq.Millisecond
-		dctcp, dibs := sweepBothArms(&o, fmt.Sprintf("minrto %dms", rto), cfg)
+		points = bothArms(points, fmt.Sprintf("minrto %dms", rto), cfg)
+	}
+	res := o.runPoints(points)
+	for i, rto := range rtos {
+		dctcp, dibs := res[2*i], res[2*i+1]
 		t.AddRow(fmt.Sprintf("%d", rto),
 			dctcp.QCT99, dibs.QCT99, float64(dctcp.Timeouts), float64(dibs.Timeouts))
 	}

@@ -33,7 +33,9 @@ func fig07(o Opts) []*Table {
 		XLabel:  "buffer(pkts)",
 		Columns: []string{"QCT99-dctcp(ms)", "QCT99-dctcp-inf(ms)", "QCT99-dibs(ms)"},
 	}
-	for _, buf := range []int{25, 100, 300, 500, 700} {
+	bufs := []int{25, 100, 300, 500, 700}
+	var points []point
+	for _, buf := range bufs {
 		mk := func() netsim.Config {
 			cfg := o.paperConfig(400 * eventq.Millisecond)
 			cfg.BufferPkts = buf
@@ -42,17 +44,20 @@ func fig07(o Opts) []*Table {
 		}
 		cfg := mk()
 		cfg.DIBS = false
-		dctcp := o.run(fmt.Sprintf("fig07 buf=%d dctcp", buf), cfg)
+		points = append(points, point{fmt.Sprintf("fig07 buf=%d dctcp", buf), cfg})
 
 		cfg = mk()
 		cfg.DIBS = false
 		cfg.Buffer = netsim.BufferInfinite
-		inf := o.run(fmt.Sprintf("fig07 buf=%d dctcp-inf", buf), cfg)
+		points = append(points, point{fmt.Sprintf("fig07 buf=%d dctcp-inf", buf), cfg})
 
 		cfg = mk()
 		cfg.DIBS = true
-		dibs := o.run(fmt.Sprintf("fig07 buf=%d dibs", buf), cfg)
-
+		points = append(points, point{fmt.Sprintf("fig07 buf=%d dibs", buf), cfg})
+	}
+	res := o.runPoints(points)
+	for i, buf := range bufs {
+		dctcp, inf, dibs := res[3*i], res[3*i+1], res[3*i+2]
 		t.AddRow(fmt.Sprintf("%d", buf), dctcp.QCT99, inf.QCT99, dibs.QCT99)
 	}
 	t.Note("paper: DIBS tracks the infinite-buffer baseline even at small buffers, where plain DCTCP degrades badly")
@@ -73,12 +78,18 @@ func fig12(o Opts) []*Table {
 		XLabel:  "buffer(pkts)",
 		Columns: []string{"QCT99-dctcp(ms)", "QCT99-dibs(ms)"},
 	}
-	for _, buf := range []int{1, 5, 10, 25, 40, 100, 200} {
+	bufs := []int{1, 5, 10, 25, 40, 100, 200}
+	var points []point
+	for _, buf := range bufs {
 		cfg := o.paperConfig(250 * eventq.Millisecond)
 		cfg.BGInterarrival = 10 * eventq.Millisecond
 		cfg.BufferPkts = buf
 		cfg.MarkAtPkts = markAtFor(buf)
-		dctcp, dibs := sweepBothArms(&o, fmt.Sprintf("fig12 buf=%d", buf), cfg)
+		points = bothArms(points, fmt.Sprintf("fig12 buf=%d", buf), cfg)
+	}
+	res := o.runPoints(points)
+	for i, buf := range bufs {
+		dctcp, dibs := res[2*i], res[2*i+1]
 		x := fmt.Sprintf("%d", buf)
 		a.AddRow(x, dctcp.ShortFCT99, dibs.ShortFCT99)
 		b.AddRow(x, dctcp.QCT99, dibs.QCT99)
@@ -96,11 +107,17 @@ func fig13(o Opts) []*Table {
 		XLabel:  "ttl",
 		Columns: append(append([]string{}, qctFctColumns...), "ttl-drops-dibs"),
 	}
-	for _, ttl := range []int{12, 24, 36, 48, 255} {
+	ttls := []int{12, 24, 36, 48, 255}
+	var points []point
+	for _, ttl := range ttls {
 		cfg := o.paperConfig(250 * eventq.Millisecond)
 		cfg.BGInterarrival = 10 * eventq.Millisecond
 		cfg.TTL = ttl
-		dctcp, dibs := sweepBothArms(&o, fmt.Sprintf("fig13 ttl=%d", ttl), cfg)
+		points = bothArms(points, fmt.Sprintf("fig13 ttl=%d", ttl), cfg)
+	}
+	res := o.runPoints(points)
+	for i, ttl := range ttls {
+		dctcp, dibs := res[2*i], res[2*i+1]
 		t.AddRow(fmt.Sprintf("%d", ttl),
 			dctcp.QCT99, dibs.QCT99, dctcp.ShortFCT99, dibs.ShortFCT99,
 			float64(dibs.Drops[switching.DropTTL]))
@@ -117,10 +134,16 @@ func oversub(o Opts) []*Table {
 		XLabel:  "oversubscription",
 		Columns: qctFctColumns,
 	}
-	for _, f := range []int{1, 2, 3, 4} {
+	factors := []int{1, 2, 3, 4}
+	var points []point
+	for _, f := range factors {
 		cfg := o.paperConfig(400 * eventq.Millisecond)
 		cfg.Oversub = f
-		dctcp, dibs := sweepBothArms(&o, fmt.Sprintf("oversub 1:%d", f*f), cfg)
+		points = bothArms(points, fmt.Sprintf("oversub 1:%d", f*f), cfg)
+	}
+	res := o.runPoints(points)
+	for i, f := range factors {
+		dctcp, dibs := res[2*i], res[2*i+1]
 		t.AddRow(fmt.Sprintf("1:%d", f*f), dctcp.QCT99, dibs.QCT99, dctcp.ShortFCT99, dibs.ShortFCT99)
 	}
 	t.Note("paper: DIBS lowers QCT99 by ~20ms at every oversubscription; the last downstream hop stays the bottleneck, where DIBS prevents loss")
@@ -135,7 +158,9 @@ func dba(o Opts) []*Table {
 		XLabel:  "degree",
 		Columns: []string{"drops-dba", "drops-dba+dibs", "QCT99-dba(ms)", "QCT99-dba+dibs(ms)", "detours-dibs"},
 	}
-	for _, deg := range []int{40, 100, 150, 250} {
+	degrees := []int{40, 100, 150, 250}
+	var points []point
+	for _, deg := range degrees {
 		cfg := o.paperConfig(300 * eventq.Millisecond)
 		cfg.Buffer = netsim.BufferShared
 		cfg.Query = &workload.QueryConfig{
@@ -144,7 +169,11 @@ func dba(o Opts) []*Table {
 			// multiple connections, as §5.5.2 does.
 			MaxFanInPerHost: 3,
 		}
-		dctcp, dibs := sweepBothArms(&o, fmt.Sprintf("dba degree=%d", deg), cfg)
+		points = bothArms(points, fmt.Sprintf("dba degree=%d", deg), cfg)
+	}
+	res := o.runPoints(points)
+	for i, deg := range degrees {
+		dctcp, dibs := res[2*i], res[2*i+1]
 		t.AddRow(fmt.Sprintf("%d", deg),
 			float64(dctcp.TotalDrops), float64(dibs.NetworkDrops()),
 			dctcp.QCT99, dibs.QCT99, float64(dibs.Detours))

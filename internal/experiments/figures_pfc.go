@@ -30,7 +30,9 @@ func pfc(o Opts) []*Table {
 			"drops-droptail", "drops-pfc", "pauses-pfc",
 		},
 	}
-	for _, deg := range []int{40, 60, 80, 100} {
+	degrees := []int{40, 60, 80, 100}
+	var points []point
+	for _, deg := range degrees {
 		mk := func() netsim.Config {
 			cfg := o.paperConfig(300 * eventq.Millisecond)
 			cfg.BGInterarrival = 40 * eventq.Millisecond
@@ -40,17 +42,19 @@ func pfc(o Opts) []*Table {
 
 		dt := mk()
 		dt.DIBS = false
-		dtr := o.run(fmt.Sprintf("pfc deg=%d droptail", deg), dt)
+		points = append(points, point{fmt.Sprintf("pfc deg=%d droptail", deg), dt})
 
 		pf := mk()
 		pf.DIBS = false
 		pf.Buffer = netsim.BufferShared
 		pf.PFC = true
-		pfr := o.run(fmt.Sprintf("pfc deg=%d pfc", deg), pf)
+		points = append(points, point{fmt.Sprintf("pfc deg=%d pfc", deg), pf})
 
-		db := mk()
-		dbr := o.run(fmt.Sprintf("pfc deg=%d dibs", deg), db)
-
+		points = append(points, point{fmt.Sprintf("pfc deg=%d dibs", deg), mk()})
+	}
+	res := o.runPoints(points)
+	for i, deg := range degrees {
+		dtr, pfr, dbr := res[3*i], res[3*i+1], res[3*i+2]
 		t.AddRow(fmt.Sprintf("%d", deg),
 			dtr.QCT99, pfr.QCT99, dbr.QCT99,
 			dtr.ShortFCT99, pfr.ShortFCT99, dbr.ShortFCT99,

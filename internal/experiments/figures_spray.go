@@ -28,24 +28,28 @@ func spray(o Opts) []*Table {
 			"drops-ecmp", "drops-spray", "drops-dibs",
 		},
 	}
-	for _, deg := range []int{40, 70, 100} {
+	degrees := []int{40, 70, 100}
+	var points []point
+	for _, deg := range degrees {
 		mk := func() netsim.Config {
 			cfg := o.paperConfig(300 * eventq.Millisecond)
 			cfg.Query = &workload.QueryConfig{QPS: 300, Degree: deg, ResponseBytes: 20_000}
 			cfg.DIBS = false
 			return cfg
 		}
-		ec := mk()
-		ecr := o.run(fmt.Sprintf("spray deg=%d ecmp", deg), ec)
+		points = append(points, point{fmt.Sprintf("spray deg=%d ecmp", deg), mk()})
 
 		sp := mk()
 		sp.PacketSpray = true
-		spr := o.run(fmt.Sprintf("spray deg=%d spray", deg), sp)
+		points = append(points, point{fmt.Sprintf("spray deg=%d spray", deg), sp})
 
 		db := mk()
 		db.DIBS = true
-		dbr := o.run(fmt.Sprintf("spray deg=%d dibs", deg), db)
-
+		points = append(points, point{fmt.Sprintf("spray deg=%d dibs", deg), db})
+	}
+	res := o.runPoints(points)
+	for i, deg := range degrees {
+		ecr, spr, dbr := res[3*i], res[3*i+1], res[3*i+2]
 		t.AddRow(fmt.Sprintf("%d", deg),
 			ecr.QCT99, spr.QCT99, dbr.QCT99,
 			float64(ecr.TotalDrops), float64(spr.TotalDrops), float64(dbr.NetworkDrops()))
@@ -67,15 +71,16 @@ func delack(o Opts) []*Table {
 			"QCT99(ms)", "FCT99(ms)", "drops", "detours",
 		},
 	}
-	for _, delayed := range []bool{false, true} {
+	labels := []string{"per-segment", "delayed-2:1"}
+	var points []point
+	for i, delayed := range []bool{false, true} {
 		cfg := o.paperConfig(400 * eventq.Millisecond)
 		cfg.DelayedAck = delayed
-		label := "per-segment"
-		if delayed {
-			label = "delayed-2:1"
-		}
-		r := o.run("delack "+label, cfg)
-		t.AddRow(label, r.QCT99, r.ShortFCT99, float64(r.NetworkDrops()), float64(r.Detours))
+		points = append(points, point{"delack " + labels[i], cfg})
+	}
+	res := o.runPoints(points)
+	for i, r := range res {
+		t.AddRow(labels[i], r.QCT99, r.ShortFCT99, float64(r.NetworkDrops()), float64(r.Detours))
 	}
 	t.Note("the two ACKing models should agree on the paper's qualitative results; delayed ACKs halve ACK load and slightly change timings")
 	return []*Table{t}

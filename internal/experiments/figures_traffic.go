@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"dibs/internal/eventq"
-	"dibs/internal/netsim"
 	"dibs/internal/switching"
 	"dibs/internal/workload"
 )
@@ -21,15 +20,6 @@ func init() {
 // qctFctColumns is the common four-series layout of Figures 8-11.
 var qctFctColumns = []string{"QCT99-dctcp(ms)", "QCT99-dibs(ms)", "FCT99-dctcp(ms)", "FCT99-dibs(ms)"}
 
-// sweepBothArms runs cfg with DIBS off and on, returning (dctcp, dibs).
-func sweepBothArms(o *Opts, label string, cfg netsim.Config) (*netsim.Results, *netsim.Results) {
-	cfg.DIBS = false
-	dctcp := o.run(label+"/dctcp", cfg)
-	cfg.DIBS = true
-	dibs := o.run(label+"/dibs", cfg)
-	return dctcp, dibs
-}
-
 func fig08(o Opts) []*Table {
 	o.normalize()
 	t := &Table{
@@ -38,10 +28,16 @@ func fig08(o Opts) []*Table {
 		XLabel:  "interarrival(ms)",
 		Columns: qctFctColumns,
 	}
-	for _, ia := range []eventq.Time{10, 20, 40, 80, 120} {
+	ias := []eventq.Time{10, 20, 40, 80, 120}
+	var points []point
+	for _, ia := range ias {
 		cfg := o.paperConfig(400 * eventq.Millisecond)
 		cfg.BGInterarrival = ia * eventq.Millisecond
-		dctcp, dibs := sweepBothArms(&o, fmt.Sprintf("fig08 ia=%dms", ia), cfg)
+		points = bothArms(points, fmt.Sprintf("fig08 ia=%dms", ia), cfg)
+	}
+	res := o.runPoints(points)
+	for i, ia := range ias {
+		dctcp, dibs := res[2*i], res[2*i+1]
 		t.AddRow(fmt.Sprintf("%d", ia), dctcp.QCT99, dibs.QCT99, dctcp.ShortFCT99, dibs.ShortFCT99)
 	}
 	t.Note("paper: DIBS cuts QCT99 by ~20ms at every BG intensity; FCT99 rises <2ms (low collateral damage)")
@@ -62,10 +58,16 @@ func fig09(o Opts) []*Table {
 		XLabel:  "qps",
 		Columns: []string{"detoured-frac", "query-share-of-detours", "drops-dibs", "drops-dctcp"},
 	}
-	for _, qps := range []float64{300, 500, 1000, 1500, 2000} {
+	rates := []float64{300, 500, 1000, 1500, 2000}
+	var points []point
+	for _, qps := range rates {
 		cfg := o.paperConfig(400 * eventq.Millisecond)
 		cfg.Query = &workload.QueryConfig{QPS: qps, Degree: 40, ResponseBytes: 20_000}
-		dctcp, dibs := sweepBothArms(&o, fmt.Sprintf("fig09 qps=%g", qps), cfg)
+		points = bothArms(points, fmt.Sprintf("fig09 qps=%g", qps), cfg)
+	}
+	res := o.runPoints(points)
+	for i, qps := range rates {
+		dctcp, dibs := res[2*i], res[2*i+1]
 		t.AddRow(fmt.Sprintf("%g", qps), dctcp.QCT99, dibs.QCT99, dctcp.ShortFCT99, dibs.ShortFCT99)
 
 		queryShare := 0.0
@@ -88,10 +90,16 @@ func fig10(o Opts) []*Table {
 		XLabel:  "response(KB)",
 		Columns: qctFctColumns,
 	}
-	for _, kb := range []int64{20, 30, 40, 50} {
+	sizes := []int64{20, 30, 40, 50}
+	var points []point
+	for _, kb := range sizes {
 		cfg := o.paperConfig(400 * eventq.Millisecond)
 		cfg.Query = &workload.QueryConfig{QPS: 300, Degree: 40, ResponseBytes: kb * 1000}
-		dctcp, dibs := sweepBothArms(&o, fmt.Sprintf("fig10 size=%dKB", kb), cfg)
+		points = bothArms(points, fmt.Sprintf("fig10 size=%dKB", kb), cfg)
+	}
+	res := o.runPoints(points)
+	for i, kb := range sizes {
+		dctcp, dibs := res[2*i], res[2*i+1]
 		t.AddRow(fmt.Sprintf("%d", kb), dctcp.QCT99, dibs.QCT99, dctcp.ShortFCT99, dibs.ShortFCT99)
 	}
 	t.Note("paper: the QCT improvement shrinks as responses grow (21ms at 20KB -> 6ms at 50KB); FCT collateral grows slightly")
@@ -112,10 +120,16 @@ func fig11(o Opts) []*Table {
 		XLabel:  "degree",
 		Columns: []string{"p99-detours-per-detoured-pkt", "max-detours"},
 	}
-	for _, deg := range []int{40, 60, 80, 100} {
+	degrees := []int{40, 60, 80, 100}
+	var points []point
+	for _, deg := range degrees {
 		cfg := o.paperConfig(400 * eventq.Millisecond)
 		cfg.Query = &workload.QueryConfig{QPS: 300, Degree: deg, ResponseBytes: 20_000}
-		dctcp, dibs := sweepBothArms(&o, fmt.Sprintf("fig11 degree=%d", deg), cfg)
+		points = bothArms(points, fmt.Sprintf("fig11 degree=%d", deg), cfg)
+	}
+	res := o.runPoints(points)
+	for i, deg := range degrees {
+		dctcp, dibs := res[2*i], res[2*i+1]
 		t.AddRow(fmt.Sprintf("%d", deg), dctcp.QCT99, dibs.QCT99, dctcp.ShortFCT99, dibs.ShortFCT99)
 		worst.AddRow(fmt.Sprintf("%d", deg), dibs.DetourP99, float64(dibs.MaxDetours))
 	}
@@ -132,11 +146,17 @@ func fig14(o Opts) []*Table {
 		XLabel:  "qps",
 		Columns: append(append([]string{}, qctFctColumns...), "dibs-forced-drops", "dibs-qdone-frac"),
 	}
-	for _, qps := range []float64{6000, 8000, 10000, 12000, 14000} {
+	rates := []float64{6000, 8000, 10000, 12000, 14000}
+	var points []point
+	for _, qps := range rates {
 		cfg := o.paperConfig(100 * eventq.Millisecond)
 		cfg.Drain = 1500 * eventq.Millisecond
 		cfg.Query = &workload.QueryConfig{QPS: qps, Degree: 40, ResponseBytes: 20_000}
-		dctcp, dibs := sweepBothArms(&o, fmt.Sprintf("fig14 qps=%g", qps), cfg)
+		points = bothArms(points, fmt.Sprintf("fig14 qps=%g", qps), cfg)
+	}
+	res := o.runPoints(points)
+	for i, qps := range rates {
+		dctcp, dibs := res[2*i], res[2*i+1]
 		doneFrac := 0.0
 		if dibs.QueriesStarted > 0 {
 			doneFrac = float64(dibs.QueriesDone) / float64(dibs.QueriesStarted)
@@ -157,11 +177,17 @@ func fig15(o Opts) []*Table {
 		XLabel:  "response(KB)",
 		Columns: qctFctColumns,
 	}
-	for _, kb := range []int64{60, 80, 100, 120, 160} {
+	sizes := []int64{60, 80, 100, 120, 160}
+	var points []point
+	for _, kb := range sizes {
 		cfg := o.paperConfig(80 * eventq.Millisecond)
 		cfg.Drain = 1500 * eventq.Millisecond
 		cfg.Query = &workload.QueryConfig{QPS: 2000, Degree: 40, ResponseBytes: kb * 1000}
-		dctcp, dibs := sweepBothArms(&o, fmt.Sprintf("fig15 size=%dKB", kb), cfg)
+		points = bothArms(points, fmt.Sprintf("fig15 size=%dKB", kb), cfg)
+	}
+	res := o.runPoints(points)
+	for i, kb := range sizes {
+		dctcp, dibs := res[2*i], res[2*i+1]
 		t.AddRow(fmt.Sprintf("%d", kb), dctcp.QCT99, dibs.QCT99, dctcp.ShortFCT99, dibs.ShortFCT99)
 	}
 	t.Note("paper: multi-RTT responses give DCTCP time to throttle senders, so DIBS keeps its advantage and never collapses")

@@ -331,3 +331,57 @@ func Roll() int { return rand.Intn(6) }
 		t.Errorf("finding format %q lacks file:line or rule id", s)
 	}
 }
+
+func TestGoroutineFlaggedInSimPackage(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixgoroutine", "fixgoroutine.go", `
+package fixgoroutine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type S struct {
+	mu sync.Mutex
+	n  atomic.Int64
+}
+
+func (s *S) Kick() {
+	go func() { s.n.Add(1) }()
+}
+`)
+	// One go statement + three sync/atomic identifier uses (Mutex, Int64, Add... Add is a method).
+	n := 0
+	for _, f := range fs {
+		if f.Rule == "nondet-goroutine" {
+			n++
+		}
+	}
+	if n < 3 {
+		t.Errorf("nondet-goroutine: got %d findings, want >= 3 (go stmt + sync.Mutex + atomic.Int64): %v", n, rulesOf(fs))
+	}
+}
+
+func TestGoroutineAllowedInRunnerAndCmd(t *testing.T) {
+	src := `
+package fixpool
+
+import "sync"
+
+func Fan(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); fn(i) }()
+	}
+	wg.Wait()
+}
+`
+	// internal/runner is the sanctioned home for parallelism.
+	fs := lintFixture(t, "dibs/internal/runner", "fixpool.go", src)
+	assertRule(t, fs, "nondet-goroutine", 0)
+
+	// cmd/ binaries are outside the determinism perimeter entirely.
+	fs = lintFixture(t, "dibs/cmd/fixpool", "fixpool.go", src)
+	assertRule(t, fs, "nondet-goroutine", 0)
+}

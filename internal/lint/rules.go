@@ -13,6 +13,7 @@ import (
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		Nondeterminism(),
+		Concurrency(),
 		VirtualTime(),
 		FloatEq(),
 		SchedHygiene(),
@@ -100,6 +101,43 @@ func Nondeterminism() *Analyzer {
 			}
 			for _, f := range pkg.Files {
 				checkMapRanges(pkg, f, report)
+			}
+		},
+	}
+}
+
+// Concurrency keeps simulation packages single-threaded: a goroutine or a
+// sync primitive below the run boundary means event order can depend on the
+// Go scheduler, which breaks the one-seed-one-output contract. Parallelism
+// belongs in internal/runner, which fans out over whole runs and is the
+// only allowlisted package.
+func Concurrency() *Analyzer {
+	return &Analyzer{
+		Rules: []RuleDoc{
+			{"nondet-goroutine", "goroutine or sync primitive in a simulation package; runs are single-threaded — parallelize whole runs via internal/runner"},
+		},
+		Check: func(l *Loader, pkg *Package, report func(token.Pos, string, string)) {
+			if !l.SimPackage(pkg.Path) || strings.HasSuffix(pkg.Path, "internal/runner") {
+				return
+			}
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					if g, ok := n.(*ast.GoStmt); ok {
+						report(g.Pos(), "nondet-goroutine",
+							"go statement in a simulation package; event order must not depend on the Go scheduler")
+					}
+					return true
+				})
+			}
+			for ident, obj := range pkg.Info.Uses {
+				if obj == nil || obj.Pkg() == nil {
+					continue
+				}
+				switch obj.Pkg().Path() {
+				case "sync", "sync/atomic":
+					report(ident.Pos(), "nondet-goroutine",
+						fmt.Sprintf("use of %s.%s; simulation packages are single-threaded by contract", obj.Pkg().Name(), obj.Name()))
+				}
 			}
 		},
 	}

@@ -1,0 +1,60 @@
+// The test lives in package runner_test so it can drive internal/experiments
+// (which itself imports runner) without an import cycle.
+package runner_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"dibs/internal/experiments"
+)
+
+// renderExperiment runs one experiment at smoke scale and returns its
+// rendered tables.
+func renderExperiment(t *testing.T, id string, workers int) string {
+	t.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		t.Fatalf("experiment %q not registered", id)
+	}
+	var buf bytes.Buffer
+	for _, tab := range e.Run(experiments.Opts{Seed: 3, Scale: 0.05, Workers: workers}) {
+		tab.Render(&buf)
+	}
+	return buf.String()
+}
+
+// TestConcurrentExperimentsMatchSerial runs two full experiments at the
+// same time — each itself fanning out over the worker pool — and asserts
+// both still match their serial golden output. Under `go test -race` this
+// is the proof that nothing below the runner shares mutable state between
+// runs.
+func TestConcurrentExperimentsMatchSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full experiments")
+	}
+	ids := []string{"fig10", "oversub"}
+	golden := make([]string, len(ids))
+	for i, id := range ids {
+		golden[i] = renderExperiment(t, id, 1)
+	}
+
+	got := make([]string, len(ids))
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got[i] = renderExperiment(t, id, 2)
+		}()
+	}
+	wg.Wait()
+
+	for i, id := range ids {
+		if got[i] != golden[i] {
+			t.Errorf("%s: concurrent run differs from serial golden\n--- serial ---\n%s\n--- concurrent ---\n%s",
+				id, golden[i], got[i])
+		}
+	}
+}

@@ -158,7 +158,7 @@ type Sender struct {
 	srtt, rttvar eventq.Time
 	hasRTT       bool
 	rto          eventq.Time
-	rtoTimer     *eventq.Timer
+	rtoTimer     eventq.Timer
 
 	// DCTCP state.
 	alpha       float64
@@ -289,7 +289,7 @@ func (s *Sender) emitSegment(seq int64, payload int) {
 // armRTO schedules (or, when force is set, reschedules) the retransmission
 // timer.
 func (s *Sender) armRTO(force bool) {
-	if s.rtoTimer != nil && s.rtoTimer.Pending() {
+	if s.rtoTimer.Pending() {
 		if !force {
 			return
 		}
@@ -299,10 +299,8 @@ func (s *Sender) armRTO(force bool) {
 }
 
 func (s *Sender) cancelRTO() {
-	if s.rtoTimer != nil {
-		s.rtoTimer.Cancel()
-		s.rtoTimer = nil
-	}
+	s.rtoTimer.Cancel()
+	s.rtoTimer = eventq.Timer{}
 }
 
 // onRTO handles a retransmission timeout: go-back-N from sndUna with an
@@ -481,7 +479,7 @@ type Receiver struct {
 	lastCE     bool
 	lastSentAt int64
 	lastRexmit bool
-	ackTimer   *eventq.Timer
+	ackTimer   eventq.Timer
 	peerSrc    packet.NodeID
 	peerFlow   packet.FlowID
 
@@ -554,7 +552,7 @@ func (r *Receiver) OnData(p *packet.Packet) {
 		}
 		if r.pendingCnt >= every || complete {
 			r.flushAck()
-		} else if r.ackTimer == nil || !r.ackTimer.Pending() {
+		} else if !r.ackTimer.Pending() {
 			timeout := r.cfg.AckTimeout
 			if timeout <= 0 {
 				timeout = 500 * eventq.Microsecond
@@ -576,9 +574,7 @@ func (r *Receiver) flushAck() {
 	if r.pendingCnt == 0 {
 		return
 	}
-	if r.ackTimer != nil {
-		r.ackTimer.Cancel()
-	}
+	r.ackTimer.Cancel()
 	r.pendingCnt = 0
 	r.emitAck(r.lastCE, r.lastSentAt, r.lastRexmit, r.peerSrc, r.peerFlow)
 }

@@ -40,6 +40,11 @@ fi
 if [ "${RACE:-1}" = "1" ]; then
     step "go test -race (short)"
     go test -race -short ./...
+
+    # The runner's concurrency proof runs full experiments, so -short skips
+    # it above; run it explicitly — it is the gate for the parallel layer.
+    step "go test -race internal/runner"
+    go test -race -count=1 ./internal/runner
 fi
 
 printf '\nall checks passed\n'
