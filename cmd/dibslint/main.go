@@ -2,16 +2,24 @@
 // suite over package patterns and exits non-zero on findings:
 //
 //	go run ./cmd/dibslint ./...
+//	go run ./cmd/dibslint -tests -json ./...
 //	go run ./cmd/dibslint -rules
 //
 // Output is one finding per line, file:line:col: rule-id: message, sorted
-// by position. Exit status: 0 clean, 1 findings, 2 usage or load failure.
+// by position; -json emits a JSON array (rule, position, message,
+// severity) instead. Exit status: 0 clean or warnings only, 1 error-level
+// findings, 2 usage or load failure. -disable=rule1,rule2 drops specific
+// rules for one invocation.
+//
 // Suppress a single finding with a trailing or preceding comment:
 //
 //	//dibslint:ignore RULE reason
 //
 // The reason is mandatory; a bare ignore is itself reported. Test files
-// are outside the determinism perimeter and are not checked.
+// are skipped by default; -tests loads them too (in-package and external
+// _test packages) and applies the rules marked as test-relevant in
+// -rules — seeding from the wall clock or the process-global rand source
+// makes a test flaky-by-construction.
 package main
 
 import (
@@ -27,17 +35,31 @@ import (
 
 func main() {
 	rules := flag.Bool("rules", false, "list rule IDs and exit")
+	tests := flag.Bool("tests", false, "also lint _test.go files (test-relevant rules only)")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	disable := flag.String("disable", "", "comma-separated rule IDs to skip")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dibslint [-rules] [packages]\n\npatterns: directories, or dir/... for recursion (default ./...)\n")
+		fmt.Fprintf(os.Stderr, "usage: dibslint [-rules] [-tests] [-json] [-disable=rule,...] [packages]\n\npatterns: directories, or dir/... for recursion (default ./...)\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
 	if *rules {
 		for _, r := range lint.AllRules() {
-			fmt.Printf("%-20s %s\n", r.ID, r.Doc)
+			marks := r.Severity
+			if r.InTests {
+				marks += ",tests"
+			}
+			fmt.Printf("%-20s [%s] %s\n", r.ID, marks, r.Doc)
 		}
 		return
+	}
+
+	disabled := make(map[string]bool)
+	for _, id := range strings.Split(*disable, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			disabled[id] = true
+		}
 	}
 
 	patterns := flag.Args()
@@ -59,23 +81,51 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		pkg, err := loader.Load(path)
-		if err != nil {
-			fatal(err)
+		if *tests {
+			tp, err := loader.LoadTests(path)
+			if err != nil {
+				fatal(err)
+			}
+			pkgs = append(pkgs, tp...)
+		} else {
+			pkg, err := loader.Load(path)
+			if err != nil {
+				fatal(err)
+			}
+			pkgs = append(pkgs, pkg)
 		}
-		pkgs = append(pkgs, pkg)
 	}
 
-	findings := loader.Run(pkgs, lint.Analyzers())
+	all := loader.Run(pkgs, lint.Analyzers())
+	findings := all[:0]
+	for _, f := range all {
+		if !disabled[f.Rule] {
+			findings = append(findings, f)
+		}
+	}
+	errors := 0
 	for _, f := range findings {
-		fmt.Println(f)
+		if f.Severity == lint.SevError {
+			errors++
+		}
+	}
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, findings); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(loader.TypeErrors) > 0 {
 		fmt.Fprintf(os.Stderr, "dibslint: %d type-check diagnostics (first: %v)\n",
 			len(loader.TypeErrors), loader.TypeErrors[0])
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "dibslint: %d finding(s)\n", len(findings))
+		fmt.Fprintf(os.Stderr, "dibslint: %d finding(s), %d error(s)\n", len(findings), errors)
+	}
+	if errors > 0 {
 		os.Exit(1)
 	}
 }
@@ -86,7 +136,8 @@ func fatal(err error) {
 }
 
 // expand resolves patterns (dir or dir/...) to the sorted set of
-// directories containing at least one non-test Go file.
+// directories containing at least one non-test Go file (a package must
+// have production sources to be loaded, even with -tests).
 func expand(patterns []string) ([]string, error) {
 	seen := make(map[string]bool)
 	var dirs []string
@@ -149,7 +200,10 @@ func hasGoFiles(dir string) (bool, error) {
 	}
 	for _, e := range entries {
 		name := e.Name()
-		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		if !strings.HasSuffix(name, "_test.go") {
 			return true, nil
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"dibs/internal/eventq"
 	"dibs/internal/metrics"
 	"dibs/internal/netsim"
+	"dibs/internal/rng"
 	"dibs/internal/runner"
 	"dibs/internal/stats"
 )
@@ -54,7 +55,7 @@ func fig06(o Opts) []*Table {
 		for run := 0; run < runs; run++ {
 			cfg := netsim.DefaultConfig()
 			cfg.Topo = netsim.TopoClick
-			cfg.Seed = o.Seed + int64(run)*7919
+			cfg.Seed = int64(rng.Derive(uint64(o.Seed), fmt.Sprintf("experiments/fig06/run%d", run)))
 			cfg.Buffer = m.buffer
 			cfg.DIBS = m.dibs
 			// The testbed ran plain TCP over droptail switches: no ECN.

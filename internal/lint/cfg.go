@@ -1,0 +1,490 @@
+package lint
+
+// cfg.go builds a per-function control-flow graph directly from go/ast,
+// with no type information, so the dataflow layer (dataflow.go) can answer
+// "which definitions reach this use" and "is there a path from this
+// statement to the function exit that avoids X". The builder models the
+// constructs the flow rules depend on:
+//
+//   - if/else with short-circuit && and || split into their own blocks, so
+//     a use in the right operand is correctly conditional,
+//   - for and range loops (back edges, break/continue, labeled variants),
+//   - switch and type switch, including fallthrough edges,
+//   - select,
+//   - goto and labels (forward and backward),
+//   - defer: deferred calls are recorded on the graph and treated by the
+//     analyses as running at every function exit,
+//   - panic/os.Exit as terminating statements.
+//
+// Blocks hold the *leaf* statements and condition expressions in
+// evaluation order; compound statements never appear as block nodes, with
+// three exceptions that carry implicit definitions and are scanned
+// shallowly (see scanShallow): *ast.RangeStmt (key/value), *ast.CaseClause
+// (type-switch implicits) and *ast.CommClause (receive bindings).
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// cfgBlock is one basic block: nodes in evaluation order plus successor
+// edges. Predecessors are not stored; the dataflow solver iterates.
+type cfgBlock struct {
+	index int
+	nodes []ast.Node
+	succs []*cfgBlock
+}
+
+// funcCFG is the control-flow graph of a single function body. entry and
+// exit are distinguished blocks; every return statement links to exit.
+type funcCFG struct {
+	blocks []*cfgBlock
+	entry  *cfgBlock
+	exit   *cfgBlock
+	// deferred collects the call of every defer statement in the
+	// function. Deferred calls execute at every exit, so analyses treat a
+	// use inside one as a use on all paths.
+	deferred []*ast.CallExpr
+}
+
+type labelInfo struct {
+	target *cfgBlock // goto destination / labeled statement entry
+	brk    *cfgBlock // break L target (set when the labeled loop/switch builds)
+	cont   *cfgBlock // continue L target
+}
+
+type cfgBuilder struct {
+	g             *funcCFG
+	cur           *cfgBlock // nil when control cannot reach here
+	breaks        []*cfgBlock
+	continues     []*cfgBlock
+	labels        map[string]*labelInfo
+	pendingLabel  *labelInfo
+	fallthroughTo *cfgBlock
+}
+
+// buildCFG constructs the graph for one function body.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	g := &funcCFG{}
+	b := &cfgBuilder{g: g, labels: make(map[string]*labelInfo)}
+	g.entry = b.newBlock()
+	g.exit = b.newBlock()
+	b.cur = g.entry
+	b.stmtList(body.List)
+	if b.cur != nil {
+		b.link(b.cur, g.exit)
+	}
+	return g
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{index: len(b.g.blocks)}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) link(from, to *cfgBlock) {
+	from.succs = append(from.succs, to)
+}
+
+// emit appends a leaf node to the current block, starting a fresh
+// (unreachable) block when control cannot reach here, so dead code is
+// still indexed and analyzed.
+func (b *cfgBuilder) emit(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.nodes = append(b.cur.nodes, n)
+}
+
+func (b *cfgBuilder) labelFor(name string) *labelInfo {
+	li := b.labels[name]
+	if li == nil {
+		li = &labelInfo{target: b.newBlock()}
+		b.labels[name] = li
+	}
+	return li
+}
+
+func (b *cfgBuilder) takeLabel() *labelInfo {
+	li := b.pendingLabel
+	b.pendingLabel = nil
+	return li
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		li := b.labelFor(s.Label.Name)
+		if b.cur != nil {
+			b.link(b.cur, li.target)
+		}
+		b.cur = li.target
+		b.pendingLabel = li
+		b.stmt(s.Stmt)
+		b.pendingLabel = nil
+
+	case *ast.ReturnStmt:
+		b.emit(s)
+		b.link(b.cur, b.g.exit)
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	case *ast.DeferStmt:
+		b.emit(s)
+		b.g.deferred = append(b.g.deferred, s.Call)
+
+	case *ast.IfStmt:
+		b.takeLabel() // a label on an if only matters for goto, already wired
+		if s.Init != nil {
+			b.emit(s.Init)
+		}
+		if b.cur == nil {
+			b.cur = b.newBlock()
+		}
+		thenB := b.newBlock()
+		after := b.newBlock()
+		elseB := after
+		if s.Else != nil {
+			elseB = b.newBlock()
+		}
+		b.cond(s.Cond, thenB, elseB)
+		b.cur = thenB
+		b.stmtList(s.Body.List)
+		if b.cur != nil {
+			b.link(b.cur, after)
+		}
+		if s.Else != nil {
+			b.cur = elseB
+			b.stmt(s.Else)
+			if b.cur != nil {
+				b.link(b.cur, after)
+			}
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		lbl := b.takeLabel()
+		if s.Init != nil {
+			b.emit(s.Init)
+		}
+		if b.cur == nil {
+			b.cur = b.newBlock()
+		}
+		head := b.newBlock()
+		b.link(b.cur, head)
+		body := b.newBlock()
+		after := b.newBlock()
+		contTarget := head
+		var post *cfgBlock
+		if s.Post != nil {
+			post = b.newBlock()
+			contTarget = post
+		}
+		if lbl != nil {
+			lbl.brk, lbl.cont = after, contTarget
+		}
+		b.breaks = append(b.breaks, after)
+		b.continues = append(b.continues, contTarget)
+		b.cur = head
+		if s.Cond != nil {
+			b.cond(s.Cond, body, after)
+		} else {
+			b.link(head, body)
+		}
+		b.cur = body
+		b.stmtList(s.Body.List)
+		if b.cur != nil {
+			b.link(b.cur, contTarget)
+		}
+		if post != nil {
+			b.cur = post
+			b.emit(s.Post)
+			b.link(post, head)
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		b.cur = after
+
+	case *ast.RangeStmt:
+		lbl := b.takeLabel()
+		if b.cur == nil {
+			b.cur = b.newBlock()
+		}
+		head := b.newBlock()
+		b.link(b.cur, head)
+		body := b.newBlock()
+		after := b.newBlock()
+		if lbl != nil {
+			lbl.brk, lbl.cont = after, head
+		}
+		b.breaks = append(b.breaks, after)
+		b.continues = append(b.continues, head)
+		// The RangeStmt node carries the container use and the key/value
+		// definitions; scanShallow keeps the body out of it.
+		b.cur = head
+		b.emit(s)
+		b.link(head, body)
+		b.link(head, after)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		if b.cur != nil {
+			b.link(b.cur, head)
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		savedFT := b.fallthroughTo
+		b.switchStmt(s.Init, s.Tag, nil, s.Body)
+		b.fallthroughTo = savedFT
+
+	case *ast.TypeSwitchStmt:
+		savedFT := b.fallthroughTo
+		b.switchStmt(s.Init, nil, s.Assign, s.Body)
+		b.fallthroughTo = savedFT
+
+	case *ast.SelectStmt:
+		lbl := b.takeLabel()
+		if b.cur == nil {
+			b.cur = b.newBlock()
+		}
+		head := b.cur
+		after := b.newBlock()
+		if lbl != nil {
+			lbl.brk = after
+		}
+		b.breaks = append(b.breaks, after)
+		if len(s.Body.List) == 0 {
+			b.link(head, after)
+		}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			clause := b.newBlock()
+			b.link(head, clause)
+			b.cur = clause
+			if cc.Comm != nil {
+				b.emit(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			if b.cur != nil {
+				b.link(b.cur, after)
+			}
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.cur = after
+
+	case *ast.ExprStmt:
+		b.emit(s)
+		if isTerminalCall(s.X) {
+			b.link(b.cur, b.g.exit)
+			b.cur = nil
+		}
+
+	case nil:
+		// nothing
+
+	default:
+		// Assignments, declarations, sends, go statements, increments,
+		// empty statements: straight-line leaves.
+		b.emit(s)
+	}
+}
+
+// switchStmt builds switch and type-switch graphs. Exactly one of tag
+// (expression switch) or assign (type switch) is non-nil; either may be
+// absent entirely.
+func (b *cfgBuilder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt) {
+	lbl := b.takeLabel()
+	if init != nil {
+		b.emit(init)
+	}
+	if tag != nil {
+		b.emit(tag)
+	}
+	if assign != nil {
+		b.emit(assign)
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	head := b.cur
+	after := b.newBlock()
+	if lbl != nil {
+		lbl.brk = after
+	}
+	b.breaks = append(b.breaks, after)
+
+	var clauses []*ast.CaseClause
+	for _, c := range body.List {
+		clauses = append(clauses, c.(*ast.CaseClause))
+	}
+	// Pre-create clause blocks so fallthrough can link forward.
+	blks := make([]*cfgBlock, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		blks[i] = b.newBlock()
+		b.link(head, blks[i])
+		if c.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.link(head, after)
+	}
+	for i, c := range clauses {
+		b.cur = blks[i]
+		// The clause node carries the case expressions and, for type
+		// switches, the per-clause implicit definition.
+		b.emit(c)
+		if i+1 < len(blks) {
+			b.fallthroughTo = blks[i+1]
+		} else {
+			b.fallthroughTo = nil
+		}
+		b.stmtList(c.Body)
+		if b.cur != nil {
+			b.link(b.cur, after)
+		}
+	}
+	b.fallthroughTo = nil
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	jump := func(t *cfgBlock) {
+		if t != nil && b.cur != nil {
+			b.link(b.cur, t)
+		}
+		b.cur = nil
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if s.Label != nil {
+			jump(b.labelFor(s.Label.Name).brk)
+		} else if n := len(b.breaks); n > 0 {
+			jump(b.breaks[n-1])
+		} else {
+			b.cur = nil
+		}
+	case token.CONTINUE:
+		if s.Label != nil {
+			jump(b.labelFor(s.Label.Name).cont)
+		} else if n := len(b.continues); n > 0 {
+			jump(b.continues[n-1])
+		} else {
+			b.cur = nil
+		}
+	case token.GOTO:
+		jump(b.labelFor(s.Label.Name).target)
+	case token.FALLTHROUGH:
+		jump(b.fallthroughTo)
+	}
+}
+
+// cond splits a branch condition into blocks so short-circuit operands
+// become conditional: in `a && b`, b evaluates only when a is true.
+func (b *cfgBuilder) cond(e ast.Expr, t, f *cfgBlock) {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		b.cond(x.X, t, f)
+		return
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			b.cond(x.X, f, t)
+			return
+		}
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND:
+			rhs := b.newBlock()
+			b.cond(x.X, rhs, f)
+			b.cur = rhs
+			b.cond(x.Y, t, f)
+			return
+		case token.LOR:
+			rhs := b.newBlock()
+			b.cond(x.X, t, rhs)
+			b.cur = rhs
+			b.cond(x.Y, t, f)
+			return
+		}
+	}
+	b.emit(e)
+	b.link(b.cur, t)
+	b.link(b.cur, f)
+}
+
+// isTerminalCall reports whether the expression is a call that never
+// returns: the panic builtin or os.Exit. Purely syntactic — the CFG layer
+// has no type information, and shadowing either name in simulation code
+// would be pathological.
+func isTerminalCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		if pkg, ok := fn.X.(*ast.Ident); ok {
+			return pkg.Name == "os" && fn.Sel.Name == "Exit"
+		}
+	}
+	return false
+}
+
+// scanShallow visits the expressions belonging to one emitted block node
+// without descending into nested statement bodies (which live in their own
+// blocks) or into function literals, which are visited as opaque values —
+// the visitor sees the *ast.FuncLit itself and nothing inside it.
+func scanShallow(n ast.Node, visit func(ast.Node) bool) {
+	switch x := n.(type) {
+	case *ast.RangeStmt:
+		if x.Key != nil {
+			scanShallow(x.Key, visit)
+		}
+		if x.Value != nil {
+			scanShallow(x.Value, visit)
+		}
+		scanShallow(x.X, visit)
+		return
+	case *ast.CaseClause:
+		for _, e := range x.List {
+			scanShallow(e, visit)
+		}
+		return
+	case *ast.CommClause:
+		if x.Comm != nil {
+			scanShallow(x.Comm, visit)
+		}
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return false
+		}
+		switch m.(type) {
+		case *ast.FuncLit:
+			visit(m)
+			return false
+		case *ast.BlockStmt:
+			return false
+		}
+		return visit(m)
+	})
+}

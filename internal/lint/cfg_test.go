@@ -1,0 +1,305 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// cfgFor parses a function body and builds its CFG.
+func cfgFor(t *testing.T, body string) *funcCFG {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	f, err := parser.ParseFile(token.NewFileSet(), "cfg.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := f.Decls[0].(*ast.FuncDecl)
+	return buildCFG(fd.Body)
+}
+
+// blockCalling returns the block containing a call to the named function.
+func blockCalling(t *testing.T, g *funcCFG, name string) *cfgBlock {
+	t.Helper()
+	for _, blk := range g.blocks {
+		for _, n := range blk.nodes {
+			found := false
+			ast.Inspect(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+						found = true
+					}
+				}
+				return !found
+			})
+			if found {
+				return blk
+			}
+		}
+	}
+	t.Fatalf("no block calls %s", name)
+	return nil
+}
+
+// canReach reports whether to is reachable from from along successor edges
+// (not counting the trivial zero-length path unless from == to appears on
+// a cycle).
+func canReach(from, to *cfgBlock) bool {
+	seen := make(map[*cfgBlock]bool)
+	var dfs func(b *cfgBlock) bool
+	dfs = func(b *cfgBlock) bool {
+		for _, s := range b.succs {
+			if s == to {
+				return true
+			}
+			if !seen[s] {
+				seen[s] = true
+				if dfs(s) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return dfs(from)
+}
+
+func TestCFGShortCircuitSplitsOperands(t *testing.T) {
+	g := cfgFor(t, `
+	if a() && b() {
+		then()
+	} else {
+		other()
+	}
+	done()`)
+	aB, bB := blockCalling(t, g, "a"), blockCalling(t, g, "b")
+	thenB, elseB := blockCalling(t, g, "then"), blockCalling(t, g, "other")
+	if aB == bB {
+		t.Fatal("&& operands must live in separate blocks")
+	}
+	// a false skips b entirely: an edge from a's block straight to else.
+	direct := false
+	for _, s := range aB.succs {
+		if s == elseB {
+			direct = true
+		}
+	}
+	if !direct {
+		t.Error("a()==false must branch to else without evaluating b()")
+	}
+	if !canReach(bB, thenB) || !canReach(bB, elseB) {
+		t.Error("b() must reach both branches")
+	}
+}
+
+func TestCFGForLoopBackEdge(t *testing.T) {
+	g := cfgFor(t, `
+	for i := 0; cond(); i++ {
+		body()
+	}
+	after()`)
+	bodyB := blockCalling(t, g, "body")
+	condB := blockCalling(t, g, "cond")
+	afterB := blockCalling(t, g, "after")
+	if !canReach(bodyB, bodyB) {
+		t.Error("loop body must sit on a cycle (back edge missing)")
+	}
+	if !canReach(condB, afterB) {
+		t.Error("loop condition must reach the after block")
+	}
+	if !canReach(afterB, g.exit) && afterB != g.exit {
+		t.Error("after block must reach exit")
+	}
+}
+
+func TestCFGRangeBreakContinue(t *testing.T) {
+	g := cfgFor(t, `
+	for range xs() {
+		if stop() {
+			break
+		}
+		if skip() {
+			continue
+		}
+		body()
+	}
+	after()`)
+	stopB := blockCalling(t, g, "stop")
+	bodyB := blockCalling(t, g, "body")
+	afterB := blockCalling(t, g, "after")
+	if !canReach(stopB, afterB) {
+		t.Error("break must reach the after block")
+	}
+	if !canReach(bodyB, bodyB) {
+		t.Error("range body must loop")
+	}
+}
+
+func TestCFGLabeledBreakFromNestedLoop(t *testing.T) {
+	g := cfgFor(t, `
+outer:
+	for oc() {
+		for ic() {
+			if done() {
+				break outer
+			}
+			inner()
+		}
+	}
+	after()`)
+	doneB := blockCalling(t, g, "done")
+	afterB := blockCalling(t, g, "after")
+	innerB := blockCalling(t, g, "inner")
+	ocB := blockCalling(t, g, "oc")
+	if !canReach(doneB, afterB) {
+		t.Error("break outer must reach the after block")
+	}
+	if !canReach(innerB, ocB) {
+		t.Error("inner loop exit must return to the outer loop head")
+	}
+}
+
+func TestCFGGotoBackward(t *testing.T) {
+	g := cfgFor(t, `
+	setup()
+loop:
+	body()
+	if again() {
+		goto loop
+	}
+	after()`)
+	bodyB := blockCalling(t, g, "body")
+	if !canReach(bodyB, bodyB) {
+		t.Error("backward goto must create a cycle")
+	}
+	if !canReach(blockCalling(t, g, "setup"), blockCalling(t, g, "after")) {
+		t.Error("fallthrough path to after missing")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	g := cfgFor(t, `
+	switch tag() {
+	case 1:
+		one()
+		fallthrough
+	case 2:
+		two()
+	default:
+		dflt()
+	}
+	after()`)
+	oneB, twoB := blockCalling(t, g, "one"), blockCalling(t, g, "two")
+	direct := false
+	for _, s := range oneB.succs {
+		if s == twoB {
+			direct = true
+		}
+	}
+	if !direct {
+		t.Error("fallthrough must link case 1 directly to case 2")
+	}
+	// Without a matching case the tag block must still reach after only
+	// through a clause (there is a default, so no head->after edge).
+	tagB := blockCalling(t, g, "tag")
+	headAfter := false
+	for _, s := range tagB.succs {
+		if s == blockCalling(t, g, "after") {
+			headAfter = true
+		}
+	}
+	if headAfter {
+		t.Error("switch with default must not fall to after from the head")
+	}
+}
+
+func TestCFGPanicTerminatesPath(t *testing.T) {
+	g := cfgFor(t, `
+	if bad() {
+		panic("boom")
+	}
+	rest()`)
+	restB := blockCalling(t, g, "rest")
+	var panicB *cfgBlock
+	for _, blk := range g.blocks {
+		for _, n := range blk.nodes {
+			if es, ok := n.(*ast.ExprStmt); ok && isTerminalCall(es.X) {
+				panicB = blk
+			}
+		}
+	}
+	if panicB == nil {
+		t.Fatal("panic statement not found in any block")
+	}
+	if canReach(panicB, restB) {
+		t.Error("panic must not fall through to the next statement")
+	}
+	if !canReach(panicB, g.exit) {
+		t.Error("panic must link to the function exit")
+	}
+}
+
+func TestCFGDeferRecorded(t *testing.T) {
+	g := cfgFor(t, `
+	defer cleanup()
+	for it() {
+		defer perIter()
+	}
+	rest()`)
+	if len(g.deferred) != 2 {
+		t.Fatalf("deferred calls: got %d, want 2", len(g.deferred))
+	}
+	names := []string{}
+	for _, c := range g.deferred {
+		if id, ok := c.Fun.(*ast.Ident); ok {
+			names = append(names, id.Name)
+		}
+	}
+	if strings.Join(names, ",") != "cleanup,perIter" {
+		t.Errorf("deferred = %v, want [cleanup perIter]", names)
+	}
+}
+
+func TestCFGSelectClauses(t *testing.T) {
+	g := cfgFor(t, `
+	select {
+	case v := <-ch():
+		use(v)
+	default:
+		dflt()
+	}
+	after()`)
+	useB, dfltB := blockCalling(t, g, "use"), blockCalling(t, g, "dflt")
+	afterB := blockCalling(t, g, "after")
+	if useB == dfltB {
+		t.Error("select clauses must live in separate blocks")
+	}
+	if !canReach(useB, afterB) || !canReach(dfltB, afterB) {
+		t.Error("every select clause must reach the after block")
+	}
+}
+
+func TestCFGReturnLinksToExit(t *testing.T) {
+	g := cfgFor(t, `
+	if early() {
+		return
+	}
+	rest()`)
+	earlyB := blockCalling(t, g, "early")
+	restB := blockCalling(t, g, "rest")
+	if !canReach(earlyB, g.exit) || !canReach(restB, g.exit) {
+		t.Error("both paths must reach exit")
+	}
+	// The return's block must not reach rest().
+	for _, blk := range g.blocks {
+		for _, n := range blk.nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				if canReach(blk, restB) {
+					t.Error("return must not fall through to rest()")
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,407 @@
+package lint
+
+// dataflow.go solves reaching definitions over a funcCFG and offers the
+// two queries the flow rules are built on:
+//
+//   - defsReaching(ident): the definitions of a local variable that can
+//     flow into this use, following the CFG (not lexical order), and
+//   - eachSource(expr): a demand-driven walk from an expression back
+//     through identifier definitions, parens, unary ops and conversions to
+//     the terminal expressions that can produce its value — the core of
+//     the taint rules (rng-taint, vtime-flow).
+//
+// Only function-local variables participate (parameters, named results,
+// := and var declarations inside the body). Package-level variables and
+// closure captures are treated as opaque: a use of one simply has no
+// definitions, which keeps every rule conservative.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// defKind classifies what a definition binds.
+type defKind int
+
+const (
+	defExpr   defKind = iota // obj = rhs (rhs is the defining expression)
+	defOpAssn                // obj op= rhs, or obj++/--: old value also flows in
+	defZero                  // var obj T (zero value)
+	defOpaque                // range variable, type-switch implicit, multi-value
+	defParam                 // parameter or receiver; paramIdx is set
+	defResult                // named result (zero-valued at entry)
+)
+
+// definition is one binding of a local variable.
+type definition struct {
+	id       int
+	obj      *types.Var
+	kind     defKind
+	node     ast.Node // the emitted block node containing the def (nil for params)
+	rhs      ast.Expr // defining expression for defExpr/defOpAssn
+	paramIdx int      // for defParam: position among parameters (receiver first)
+}
+
+// defUse is the reaching-definitions solution for one function body.
+type defUse struct {
+	g    *funcCFG
+	info *types.Info
+
+	defs   []*definition
+	defIDs map[*types.Var][]int
+
+	// defsAt[node] lists definitions created by that block node.
+	defsAt map[ast.Node][]*definition
+
+	// identNode maps every identifier appearing in an emitted node to that
+	// node; identBlock/identIdx locate the node in its block.
+	identNode map[*ast.Ident]ast.Node
+	nodeBlock map[ast.Node]*cfgBlock
+	nodeIdx   map[ast.Node]int
+
+	in []bitset // per block: definitions reaching block entry
+}
+
+// bitset is a simple fixed-width bit vector.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (uint(i) % 64) }
+func (b bitset) clear(i int)    { b[i/64] &^= 1 << (uint(i) % 64) }
+func (b bitset) has(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+
+func (b bitset) orInto(src bitset) bool {
+	changed := false
+	for i := range b {
+		n := b[i] | src[i]
+		if n != b[i] {
+			b[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (b bitset) clone() bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+// analyzeFunc builds the CFG and reaching-definitions solution for one
+// function. ftype supplies parameter and named-result definitions; recv
+// the method receiver (may be nil).
+func analyzeFunc(info *types.Info, recv *ast.FieldList, ftype *ast.FuncType, body *ast.BlockStmt) *defUse {
+	du := &defUse{
+		g:         buildCFG(body),
+		info:      info,
+		defIDs:    make(map[*types.Var][]int),
+		defsAt:    make(map[ast.Node][]*definition),
+		identNode: make(map[*ast.Ident]ast.Node),
+		nodeBlock: make(map[ast.Node]*cfgBlock),
+		nodeIdx:   make(map[ast.Node]int),
+	}
+	du.collectParamDefs(recv, ftype)
+	for _, blk := range du.g.blocks {
+		for i, n := range blk.nodes {
+			du.nodeBlock[n] = blk
+			du.nodeIdx[n] = i
+			du.collectDefs(n)
+			scanShallow(n, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					du.identNode[id] = n
+				}
+				return true
+			})
+		}
+	}
+	du.solve()
+	return du
+}
+
+func (du *defUse) addDef(d *definition) {
+	d.id = len(du.defs)
+	du.defs = append(du.defs, d)
+	du.defIDs[d.obj] = append(du.defIDs[d.obj], d.id)
+	if d.node != nil {
+		du.defsAt[d.node] = append(du.defsAt[d.node], d)
+	}
+}
+
+func (du *defUse) collectParamDefs(recv *ast.FieldList, ftype *ast.FuncType) {
+	idx := 0
+	addFields := func(fl *ast.FieldList, kind defKind) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				obj, ok := du.info.Defs[name].(*types.Var)
+				if !ok {
+					continue
+				}
+				d := &definition{obj: obj, kind: kind}
+				if kind == defParam {
+					d.paramIdx = idx
+					idx++
+				}
+				du.addDef(d)
+			}
+			if len(f.Names) == 0 && kind == defParam {
+				idx++
+			}
+		}
+	}
+	addFields(recv, defParam)
+	addFields(ftype.Params, defParam)
+	addFields(ftype.Results, defResult)
+}
+
+// localVar resolves an identifier to a function-local *types.Var, or nil.
+func (du *defUse) localVar(id *ast.Ident) *types.Var {
+	obj := du.info.Defs[id]
+	if obj == nil {
+		obj = du.info.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return nil
+	}
+	// Package-level variables and struct fields are not locals.
+	if v.IsField() || v.Parent() == v.Pkg().Scope() {
+		return nil
+	}
+	return v
+}
+
+func (du *defUse) collectDefs(n ast.Node) {
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		du.collectAssignDefs(s)
+	case *ast.IncDecStmt:
+		if id, ok := s.X.(*ast.Ident); ok {
+			if v := du.localVar(id); v != nil {
+				du.addDef(&definition{obj: v, kind: defOpAssn, node: n})
+			}
+		}
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				v := du.localVar(name)
+				if v == nil {
+					continue
+				}
+				switch {
+				case len(vs.Values) == len(vs.Names):
+					du.addDef(&definition{obj: v, kind: defExpr, node: n, rhs: vs.Values[i]})
+				case len(vs.Values) == 0:
+					du.addDef(&definition{obj: v, kind: defZero, node: n})
+				default: // multi-value initializer
+					du.addDef(&definition{obj: v, kind: defOpaque, node: n})
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		for _, e := range []ast.Expr{s.Key, s.Value} {
+			if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+				if v := du.localVar(id); v != nil {
+					du.addDef(&definition{obj: v, kind: defOpaque, node: n})
+				}
+			}
+		}
+	case *ast.CaseClause:
+		// Type-switch clauses bind a fresh implicit variable per clause.
+		if obj, ok := du.info.Implicits[s].(*types.Var); ok {
+			du.addDef(&definition{obj: obj, kind: defOpaque, node: n})
+		}
+	}
+}
+
+func (du *defUse) collectAssignDefs(s *ast.AssignStmt) {
+	multi := len(s.Rhs) == 1 && len(s.Lhs) > 1
+	for i, lhs := range s.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		v := du.localVar(id)
+		if v == nil {
+			continue
+		}
+		switch {
+		case s.Tok == token.ASSIGN || s.Tok == token.DEFINE:
+			if multi {
+				du.addDef(&definition{obj: v, kind: defOpaque, node: s})
+			} else {
+				du.addDef(&definition{obj: v, kind: defExpr, node: s, rhs: s.Rhs[i]})
+			}
+		default: // op-assign: +=, -=, ...
+			du.addDef(&definition{obj: v, kind: defOpAssn, node: s, rhs: s.Rhs[0]})
+		}
+	}
+}
+
+// solve runs the forward reaching-definitions fixpoint.
+func (du *defUse) solve() {
+	n := len(du.defs)
+	gen := make([]bitset, len(du.g.blocks))
+	kill := make([]bitset, len(du.g.blocks))
+	du.in = make([]bitset, len(du.g.blocks))
+	out := make([]bitset, len(du.g.blocks))
+	for _, blk := range du.g.blocks {
+		gen[blk.index] = newBitset(n)
+		kill[blk.index] = newBitset(n)
+		du.in[blk.index] = newBitset(n)
+		out[blk.index] = newBitset(n)
+	}
+	// Parameter/result definitions are generated by the entry block and
+	// already live at its head, so uses inside the entry block see them
+	// (the in-block prefix walk only applies node-attached definitions).
+	for _, d := range du.defs {
+		if d.node == nil {
+			gen[du.g.entry.index].set(d.id)
+			du.in[du.g.entry.index].set(d.id)
+		}
+	}
+	for _, blk := range du.g.blocks {
+		g, k := gen[blk.index], kill[blk.index]
+		for _, node := range blk.nodes {
+			for _, d := range du.defsAt[node] {
+				for _, other := range du.defIDs[d.obj] {
+					k.set(other)
+					g.clear(other)
+				}
+				g.set(d.id)
+			}
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, blk := range du.g.blocks {
+			i := blk.index
+			for j := range out[i] {
+				out[i][j] = (du.in[i][j] &^ kill[i][j]) | gen[i][j]
+			}
+			for _, s := range blk.succs {
+				if du.in[s.index].orInto(out[i]) {
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// defsReaching returns the definitions of id's variable that reach this
+// use. Definitions created by the node containing the use itself are not
+// applied: in `x = x + 1` the right-hand x sees the previous bindings.
+func (du *defUse) defsReaching(id *ast.Ident) []*definition {
+	v := du.localVar(id)
+	if v == nil {
+		return nil
+	}
+	node := du.identNode[id]
+	blk := du.nodeBlock[node]
+	if blk == nil {
+		return nil
+	}
+	live := du.in[blk.index].clone()
+	for _, n := range blk.nodes {
+		if n == node {
+			break
+		}
+		for _, d := range du.defsAt[n] {
+			for _, other := range du.defIDs[d.obj] {
+				live.clear(other)
+			}
+			live.set(d.id)
+		}
+	}
+	var out []*definition
+	for _, idx := range du.defIDs[v] {
+		if live.has(idx) {
+			out = append(out, du.defs[idx])
+		}
+	}
+	return out
+}
+
+// eachSource walks from e back to the terminal expressions that can
+// produce its value: through parentheses, unary +/-/^, conversions to
+// basic or named types, and identifier definitions (via reaching defs).
+// visit is called for every contributing expression; returning false stops
+// descent into that expression's operands (binary-op and call arguments
+// are the caller's to descend, so rules control their own precision).
+func (du *defUse) eachSource(e ast.Expr, visit func(ast.Expr) bool) {
+	seen := make(map[ast.Node]bool)
+	var walk func(ast.Expr)
+	walk = func(e ast.Expr) {
+		if e == nil || seen[e] {
+			return
+		}
+		seen[e] = true
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			walk(x.X)
+		case *ast.UnaryExpr:
+			if x.Op == token.ADD || x.Op == token.SUB || x.Op == token.XOR {
+				walk(x.X)
+				return
+			}
+			visit(e)
+		case *ast.CallExpr:
+			// A conversion T(x) passes the value through.
+			if tv, ok := du.info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+				walk(x.Args[0])
+				return
+			}
+			visit(e)
+		case *ast.Ident:
+			if !visit(e) {
+				return
+			}
+			for _, d := range du.defsReaching(x) {
+				switch d.kind {
+				case defExpr:
+					walk(d.rhs)
+				case defOpAssn:
+					if d.rhs != nil {
+						walk(d.rhs)
+					}
+					// The old value also flows in; its defs are the ones
+					// reaching the op-assign node itself, which the seen
+					// map keeps from looping forever.
+					var lhs ast.Expr
+					switch s := d.node.(type) {
+					case *ast.AssignStmt:
+						lhs = s.Lhs[0]
+					case *ast.IncDecStmt:
+						lhs = s.X
+					}
+					if id, ok := lhs.(*ast.Ident); ok && !seen[id] {
+						walk(id)
+					}
+				}
+			}
+		default:
+			if visit(e) {
+				switch x := e.(type) {
+				case *ast.BinaryExpr:
+					walk(x.X)
+					walk(x.Y)
+				}
+			}
+		}
+	}
+	walk(e)
+}

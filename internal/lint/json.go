@@ -1,0 +1,37 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonFinding is the machine-readable diagnostic shape: stable field names
+// so CI and editor integrations can parse output without scraping the
+// text format.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Rule     string `json:"rule"`
+	Severity string `json:"severity"`
+	Msg      string `json:"msg"`
+}
+
+// WriteJSON emits findings as an indented JSON array (never null: an empty
+// run writes []), terminated by a newline.
+func WriteJSON(w io.Writer, findings []Finding) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			File:     f.Pos.Filename,
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Column,
+			Rule:     f.Rule,
+			Severity: f.Severity,
+			Msg:      f.Msg,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

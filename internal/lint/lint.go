@@ -34,9 +34,10 @@ import (
 
 // Finding is one rule violation, reported as file:line:col rule-id message.
 type Finding struct {
-	Pos  token.Position
-	Rule string
-	Msg  string
+	Pos      token.Position
+	Rule     string
+	Msg      string
+	Severity string // SevError or SevWarn, stamped from the rule's doc
 }
 
 func (f Finding) String() string {
@@ -50,6 +51,11 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// TestOf is the import path of the package under test when this
+	// package is a test variant (the in-package files augmented with
+	// _test.go files, or the external foo_test package); "" otherwise.
+	// Perimeter decisions (SimPackage etc.) use it via effectivePath.
+	TestOf string
 }
 
 // Analyzer inspects one package and reports findings.
@@ -60,10 +66,34 @@ type Analyzer struct {
 	Check func(l *Loader, pkg *Package, report func(pos token.Pos, rule, msg string))
 }
 
+// Severity levels for findings. Errors fail the build (exit 1); warnings
+// are reported but do not gate.
+const (
+	SevError = "error"
+	SevWarn  = "warn"
+)
+
 // RuleDoc documents one rule ID for `dibslint -rules`.
 type RuleDoc struct {
-	ID  string
-	Doc string
+	ID       string
+	Doc      string
+	Severity string
+	// InTests marks rules that also apply inside _test.go files when the
+	// loader runs with test coverage (-tests). Most determinism rules stay
+	// off in tests — ad-hoc literal-seeded PRNGs and wall-clock timing are
+	// legitimate there — but seeding from the wall clock (rng-taint) or
+	// the process-global source (nondet-globalrand) makes a test
+	// flaky-by-construction.
+	InTests bool
+}
+
+// BadIgnoreRule documents the loader-emitted lint-badignore rule, which
+// has no analyzer of its own.
+var BadIgnoreRule = RuleDoc{
+	ID:       "lint-badignore",
+	Doc:      "a //dibslint: directive is malformed or lacks a reason",
+	Severity: SevError,
+	InTests:  true,
 }
 
 // Loader parses and type-checks packages of the enclosing module using only
@@ -81,6 +111,12 @@ type Loader struct {
 	// TypeErrors collects non-fatal type-check diagnostics; packages are
 	// still analyzed best-effort.
 	TypeErrors []error
+
+	// facts holds the cross-package function summaries (facts.go),
+	// computed when each package is type-checked; funcDU caches the
+	// CFG + reaching-definitions solution per function body.
+	facts  map[*types.Func]FuncFacts
+	funcDU map[*ast.BlockStmt]*defUse
 }
 
 // NewLoader locates the module root by walking up from dir to the nearest
@@ -113,6 +149,8 @@ func NewLoader(dir string) (*Loader, error) {
 		std:        importer.ForCompiler(fset, "source", nil),
 		pkgs:       make(map[string]*Package),
 		loading:    make(map[string]bool),
+		facts:      make(map[*types.Func]FuncFacts),
+		funcDU:     make(map[*ast.BlockStmt]*defUse),
 	}, nil
 }
 
@@ -208,12 +246,25 @@ func (l *Loader) LoadSynthetic(path string, files map[string]string) (*Package, 
 	return l.check(path, "", files)
 }
 
-// check parses and type-checks one package. sources maps filename to source
-// text; an empty text means "read the file from disk".
+// check parses and type-checks one package and caches it under its import
+// path. sources maps filename to source text; an empty text means "read
+// the file from disk".
 func (l *Loader) check(path, dir string, sources map[string]string) (*Package, error) {
 	l.loading[path] = true
 	defer delete(l.loading, path)
+	pkg, err := l.checkWith(path, dir, sources, l, "")
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
 
+// checkWith parses and type-checks one package without touching the
+// package cache: typePath names the types.Package, imp resolves imports
+// (test variants substitute an importer that maps the package under test
+// to its augmented build), testOf tags test variants.
+func (l *Loader) checkWith(typePath, dir string, sources map[string]string, imp types.Importer, testOf string) (*Package, error) {
 	names := make([]string, 0, len(sources))
 	for name := range sources {
 		names = append(names, name)
@@ -238,18 +289,113 @@ func (l *Loader) check(path, dir string, sources map[string]string) (*Package, e
 		Uses:       make(map[*ast.Ident]types.Object),
 		Defs:       make(map[*ast.Ident]types.Object),
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
 	}
 	conf := types.Config{
-		Importer: l,
+		Importer: imp,
 		Error:    func(err error) { l.TypeErrors = append(l.TypeErrors, err) },
 	}
-	tpkg, err := conf.Check(path, l.Fset, files, info)
+	tpkg, err := conf.Check(typePath, l.Fset, files, info)
 	if err != nil && tpkg == nil {
-		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+		return nil, fmt.Errorf("lint: type-checking %s: %w", typePath, err)
 	}
-	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
-	l.pkgs[path] = pkg
+	pkg := &Package{Path: typePath, Dir: dir, Files: files, Types: tpkg, Info: info, TestOf: testOf}
+	l.computeFacts(pkg)
 	return pkg, nil
+}
+
+// testImporter resolves the package under test to its augmented build (the
+// one including in-package _test.go files), so external foo_test packages
+// see export_test.go hooks; everything else goes through the loader.
+type testImporter struct {
+	l    *Loader
+	path string
+	aug  *types.Package
+}
+
+func (ti *testImporter) Import(path string) (*types.Package, error) {
+	if path == ti.path {
+		return ti.aug, nil
+	}
+	return ti.l.Import(path)
+}
+
+// LoadTests loads the test builds of the package at the given import path:
+// the augmented in-package variant (production files plus same-package
+// _test.go files) and, when present, the external foo_test package. The
+// production package itself is loaded (and cached) as a side effect; the
+// returned packages are not cached and carry TestOf. Packages with no test
+// files return the production package alone, so callers can lint the
+// result list uniformly.
+func (l *Loader) LoadTests(path string) ([]*Package, error) {
+	base, err := l.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	dir := l.dirFor(path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", path, err)
+	}
+	inPkg := make(map[string]string)  // same-package test files
+	extPkg := make(map[string]string) // external foo_test files
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		full := filepath.Join(dir, name)
+		pkgName, err := packageClause(full)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		if strings.HasSuffix(pkgName, "_test") {
+			extPkg[full] = ""
+		} else {
+			inPkg[full] = ""
+		}
+	}
+	if len(inPkg) == 0 && len(extPkg) == 0 {
+		return []*Package{base}, nil
+	}
+
+	aug := base
+	if len(inPkg) > 0 {
+		sources := make(map[string]string, len(inPkg))
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			sources[filepath.Join(dir, name)] = ""
+		}
+		for name := range inPkg {
+			sources[name] = ""
+		}
+		aug, err = l.checkWith(path, dir, sources, l, path)
+		if err != nil {
+			return nil, err
+		}
+	}
+	pkgs := []*Package{aug}
+	if len(extPkg) > 0 {
+		imp := &testImporter{l: l, path: path, aug: aug.Types}
+		ext, err := l.checkWith(path+"_test", dir, extPkg, imp, path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, ext)
+	}
+	return pkgs, nil
+}
+
+// packageClause reads just the package name of a Go file.
+func packageClause(filename string) (string, error) {
+	f, err := parser.ParseFile(token.NewFileSet(), filename, nil, parser.PackageClauseOnly)
+	if err != nil {
+		return "", err
+	}
+	return f.Name.Name, nil
 }
 
 // SimPackage reports whether path is a simulation package: the module root
@@ -319,7 +465,15 @@ func suppressions(fset *token.FileSet, files []*ast.File, report func(pos token.
 
 // Run executes all analyzers over the given packages and returns findings
 // sorted by position, with //dibslint:ignore suppressions applied.
+// Findings inside _test.go files are kept only for rules marked InTests;
+// severities are stamped from the rule docs.
 func (l *Loader) Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	docs := map[string]RuleDoc{BadIgnoreRule.ID: BadIgnoreRule}
+	for _, a := range analyzers {
+		for _, d := range a.Rules {
+			docs[d.ID] = d
+		}
+	}
 	var findings []Finding
 	for _, pkg := range pkgs {
 		var raw []Finding
@@ -333,6 +487,14 @@ func (l *Loader) Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		for _, f := range raw {
 			if rules, ok := sup[f.Pos.Filename][f.Pos.Line]; ok && rules[f.Rule] && f.Rule != "lint-badignore" {
 				continue
+			}
+			doc, known := docs[f.Rule]
+			if strings.HasSuffix(f.Pos.Filename, "_test.go") && !doc.InTests {
+				continue
+			}
+			f.Severity = SevError
+			if known && doc.Severity != "" {
+				f.Severity = doc.Severity
 			}
 			findings = append(findings, f)
 		}

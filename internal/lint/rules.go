@@ -17,15 +17,16 @@ func Analyzers() []*Analyzer {
 		VirtualTime(),
 		FloatEq(),
 		SchedHygiene(),
+		MutableGlobals(),
+		RNGTaint(),
+		VtimeFlow(),
+		PathDroppedErr(),
 	}
 }
 
 // AllRules returns every rule's documentation, for `dibslint -rules`.
 func AllRules() []RuleDoc {
-	docs := []RuleDoc{{
-		ID:  "lint-badignore",
-		Doc: "a //dibslint: directive is malformed or lacks a reason",
-	}}
+	docs := []RuleDoc{BadIgnoreRule}
 	for _, a := range Analyzers() {
 		docs = append(docs, a.Rules...)
 	}
@@ -66,13 +67,13 @@ var wallClockFns = map[string]bool{
 func Nondeterminism() *Analyzer {
 	return &Analyzer{
 		Rules: []RuleDoc{
-			{"nondet-globalrand", "simulation code calls a math/rand package-level function (global, auto-seeded source)"},
-			{"nondet-randnew", "PRNG constructed outside internal/rng; derive every stream from Config.Seed via rng.New"},
-			{"nondet-wallclock", "simulation code reads the wall clock; use the scheduler's virtual clock"},
-			{"nondet-maprange", "map iteration order feeds event scheduling or result aggregation"},
+			{ID: "nondet-globalrand", Doc: "simulation code calls a math/rand package-level function (global, auto-seeded source)", Severity: SevError, InTests: true},
+			{ID: "nondet-randnew", Doc: "PRNG constructed outside internal/rng; derive every stream from Config.Seed via rng.New", Severity: SevError},
+			{ID: "nondet-wallclock", Doc: "simulation code reads the wall clock; use the scheduler's virtual clock", Severity: SevError},
+			{ID: "nondet-maprange", Doc: "map iteration order feeds event scheduling or result aggregation", Severity: SevError},
 		},
 		Check: func(l *Loader, pkg *Package, report func(token.Pos, string, string)) {
-			if !l.SimPackage(pkg.Path) {
+			if !l.SimPackage(effectivePath(pkg)) {
 				return
 			}
 			for ident, obj := range pkg.Info.Uses {
@@ -88,7 +89,7 @@ func Nondeterminism() *Analyzer {
 					if globalRandFns[fn.Name()] {
 						report(ident.Pos(), "nondet-globalrand",
 							fmt.Sprintf("call to global rand.%s; use the *rand.Rand plumbed from Config.Seed", fn.Name()))
-					} else if randConstructors[fn.Name()] && !l.RNGPackage(pkg.Path) {
+					} else if randConstructors[fn.Name()] && !l.RNGPackage(effectivePath(pkg)) {
 						report(ident.Pos(), "nondet-randnew",
 							fmt.Sprintf("rand.%s outside internal/rng; derive streams with rng.New(seed, name)", fn.Name()))
 					}
@@ -114,10 +115,10 @@ func Nondeterminism() *Analyzer {
 func Concurrency() *Analyzer {
 	return &Analyzer{
 		Rules: []RuleDoc{
-			{"nondet-goroutine", "goroutine or sync primitive in a simulation package; runs are single-threaded — parallelize whole runs via internal/runner"},
+			{ID: "nondet-goroutine", Doc: "goroutine or sync primitive in a simulation package; runs are single-threaded — parallelize whole runs via internal/runner", Severity: SevError},
 		},
 		Check: func(l *Loader, pkg *Package, report func(token.Pos, string, string)) {
-			if !l.SimPackage(pkg.Path) || strings.HasSuffix(pkg.Path, "internal/runner") {
+			if !l.SimPackage(effectivePath(pkg)) || strings.HasSuffix(effectivePath(pkg), "internal/runner") {
 				return
 			}
 			for _, f := range pkg.Files {
@@ -235,15 +236,15 @@ func escapesLoop(pkg *Package, lhs ast.Expr, rs *ast.RangeStmt) bool {
 func VirtualTime() *Analyzer {
 	return &Analyzer{
 		Rules: []RuleDoc{
-			{"vtime-duration", "time.Duration used in simulation code where eventq.Time belongs; convert at the boundary with eventq.Duration"},
-			{"vtime-rawns", "raw integer literal used as eventq.Time; spell durations with eventq unit constants (e.g. 5*eventq.Microsecond)"},
-			{"vtime-overflow", "product of two non-constant eventq.Time values; ns×ns overflows int64 almost immediately"},
+			{ID: "vtime-duration", Doc: "time.Duration used in simulation code where eventq.Time belongs; convert at the boundary with eventq.Duration", Severity: SevError},
+			{ID: "vtime-rawns", Doc: "raw integer literal used as eventq.Time; spell durations with eventq unit constants (e.g. 5*eventq.Microsecond)", Severity: SevError},
+			{ID: "vtime-overflow", Doc: "product of two non-constant eventq.Time values; ns×ns overflows int64 almost immediately", Severity: SevError},
 		},
 		Check: func(l *Loader, pkg *Package, report func(token.Pos, string, string)) {
-			if !l.SimPackage(pkg.Path) {
+			if !l.SimPackage(effectivePath(pkg)) {
 				return
 			}
-			eventqPkg := strings.HasSuffix(pkg.Path, "internal/eventq")
+			eventqPkg := strings.HasSuffix(effectivePath(pkg), "internal/eventq")
 			if !eventqPkg {
 				// Declarations of wall-clock duration type in sim state.
 				for ident, obj := range pkg.Info.Defs {
@@ -331,7 +332,7 @@ func checkRawNs(pkg *Package, n, parent ast.Node, report func(token.Pos, string,
 func FloatEq() *Analyzer {
 	return &Analyzer{
 		Rules: []RuleDoc{
-			{"float-eq", "==/!= on floating-point values; compare with a tolerance or restructure"},
+			{ID: "float-eq", Doc: "==/!= on floating-point values; compare with a tolerance or restructure", Severity: SevError},
 		},
 		Check: func(l *Loader, pkg *Package, report func(token.Pos, string, string)) {
 			for _, f := range pkg.Files {
@@ -362,11 +363,11 @@ func FloatEq() *Analyzer {
 func SchedHygiene() *Analyzer {
 	return &Analyzer{
 		Rules: []RuleDoc{
-			{"sched-past", "event scheduled at Now() minus an offset; At panics on t < now — use After with the positive delta"},
-			{"sched-droppederr", "error result of a simulator API call silently dropped"},
+			{ID: "sched-past", Doc: "event scheduled at Now() minus an offset; At panics on t < now — use After with the positive delta", Severity: SevError},
+			{ID: "sched-droppederr", Doc: "error result of a simulator API call silently dropped", Severity: SevError},
 		},
 		Check: func(l *Loader, pkg *Package, report func(token.Pos, string, string)) {
-			if !l.SimPackage(pkg.Path) {
+			if !l.SimPackage(effectivePath(pkg)) {
 				return
 			}
 			for _, f := range pkg.Files {

@@ -1,0 +1,583 @@
+package lint
+
+// rules_flow.go holds the flow-sensitive analyses built on the CFG
+// (cfg.go), reaching definitions (dataflow.go) and the cross-package fact
+// store (facts.go):
+//
+//   mutable-globals  package-level state written outside init (or helpers
+//                    provably called only from init), in simulation
+//                    packages — hidden shared state breaks the
+//                    one-seed-one-output contract even when -race is quiet.
+//   rng-taint        a seed reaching rng.New/rng.Derive, a math/rand
+//                    constructor, a Seed field, or another function's
+//                    seed-sink parameter is derived from the wall clock /
+//                    process state, or from ad-hoc arithmetic on an
+//                    existing seed — through any number of assignments and
+//                    helper calls.
+//   vtime-flow       a raw >=1000 integer literal flows into an
+//                    eventq.Time through assignments or named constants
+//                    (the flow-sensitive upgrade of vtime-rawns).
+//   path-droppederr  an error or queue.Result returned by a module call is
+//                    bound to a variable but unused along at least one
+//                    path to function exit (the path-sensitive upgrade of
+//                    sched-droppederr).
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// effectivePath is the import path used for perimeter decisions: external
+// test packages ("foo_test") are judged by the package they test.
+func effectivePath(pkg *Package) string {
+	if pkg.TestOf != "" {
+		return pkg.TestOf
+	}
+	return pkg.Path
+}
+
+// eachFuncBody invokes fn for every function body in the file:
+// declarations (with their *types.Func) and function literals (nil).
+func eachFuncBody(pkg *Package, f *ast.File, fn func(obj *types.Func, recv *ast.FieldList, ftype *ast.FuncType, body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncDecl:
+			if x.Body != nil {
+				obj, _ := pkg.Info.Defs[x.Name].(*types.Func)
+				fn(obj, x.Recv, x.Type, x.Body)
+			}
+		case *ast.FuncLit:
+			fn(nil, nil, x.Type, x.Body)
+		}
+		return true
+	})
+}
+
+// MutableGlobals reports writes to package-level variables outside init in
+// simulation packages. Unexported helpers that are only ever *called* from
+// init (or from other such helpers) count as init context — the
+// register-from-init pattern stays legal — but a function whose name
+// escapes init as a value does not, since it can run at any time.
+func MutableGlobals() *Analyzer {
+	return &Analyzer{
+		Rules: []RuleDoc{
+			{ID: "mutable-globals", Doc: "package-level variable written outside init in a simulation package; per-run state belongs in structs threaded through the run", Severity: SevError},
+		},
+		Check: func(l *Loader, pkg *Package, report func(token.Pos, string, string)) {
+			if !l.SimPackage(effectivePath(pkg)) {
+				return
+			}
+			initOnly := initOnlyFuncs(pkg)
+			for _, f := range pkg.Files {
+				for _, d := range f.Decls {
+					fd, ok := d.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+					allowed := (fd.Name.Name == "init" && fd.Recv == nil) || initOnly[obj]
+					reportGlobalWrites(pkg, fd.Body, allowed, report)
+				}
+			}
+		},
+	}
+}
+
+// reportGlobalWrites walks a body, flagging package-variable writes when
+// not in init context. Function literals are never init context: even one
+// declared inside init may escape and run later.
+func reportGlobalWrites(pkg *Package, body *ast.BlockStmt, allowed bool, report func(token.Pos, string, string)) {
+	var walk func(n ast.Node, allowed bool) bool
+	walk = func(n ast.Node, allowed bool) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			ast.Inspect(x.Body, func(m ast.Node) bool { return walk(m, false) })
+			return false
+		case *ast.AssignStmt:
+			if allowed {
+				return true
+			}
+			for _, lhs := range x.Lhs {
+				if v := writtenPackageVar(pkg.Info, lhs); v != nil {
+					report(lhs.Pos(), "mutable-globals",
+						fmt.Sprintf("package-level %s written outside init; per-run state must live in a struct", v.Name()))
+				}
+			}
+		case *ast.IncDecStmt:
+			if allowed {
+				return true
+			}
+			if v := writtenPackageVar(pkg.Info, x.X); v != nil {
+				report(x.Pos(), "mutable-globals",
+					fmt.Sprintf("package-level %s written outside init; per-run state must live in a struct", v.Name()))
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, func(m ast.Node) bool { return walk(m, allowed) })
+}
+
+// initOnlyFuncs computes the set of functions only reachable from package
+// initialization: unexported, non-method, and every reference to them is a
+// direct call from init, a package-level variable initializer, or another
+// init-only function.
+func initOnlyFuncs(pkg *Package) map[*types.Func]bool {
+	type ref struct {
+		ctx     *types.Func // enclosing function (nil for var initializers)
+		call    bool        // referenced as the callee of a direct call
+		initCtx bool        // context is init or a package-level initializer
+	}
+	refs := make(map[*types.Func][]ref)
+	note := func(root ast.Node, ctx *types.Func, initCtx bool) {
+		walkWithParent(root, func(n, parent ast.Node) {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return
+			}
+			fn, ok := pkg.Info.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() != pkg.Types {
+				return
+			}
+			call := false
+			if c, ok := parent.(*ast.CallExpr); ok && c.Fun == n {
+				call = true
+			}
+			refs[fn] = append(refs[fn], ref{ctx: ctx, call: call, initCtx: initCtx})
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			switch x := d.(type) {
+			case *ast.FuncDecl:
+				if x.Body == nil {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[x.Name].(*types.Func)
+				isInit := x.Name.Name == "init" && x.Recv == nil
+				note(x.Body, obj, isInit)
+			case *ast.GenDecl:
+				if x.Tok == token.VAR || x.Tok == token.CONST {
+					note(x, nil, true)
+				}
+			}
+		}
+	}
+	initOnly := make(map[*types.Func]bool)
+	for changed := true; changed; {
+		changed = false
+		for fn, rs := range refs {
+			if initOnly[fn] || fn.Exported() || fn.Name() == "init" {
+				continue
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				continue
+			}
+			ok := len(rs) > 0
+			for _, r := range rs {
+				if !r.call || !(r.initCtx || (r.ctx != nil && initOnly[r.ctx])) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				initOnly[fn] = true
+				changed = true
+			}
+		}
+	}
+	return initOnly
+}
+
+// RNGTaint checks every seed sink against the fact store and reaching
+// definitions: the value must be a clean seed (a Seed field, a seed-sink
+// parameter, a literal, or an rng.Derive result), not wall-clock derived
+// and not ad-hoc arithmetic over an existing seed.
+func RNGTaint() *Analyzer {
+	return &Analyzer{
+		Rules: []RuleDoc{
+			{ID: "rng-taint", Doc: "a seed is derived from the wall clock/process state or by ad-hoc arithmetic; derive per-run streams with rng.Derive(seed, name)", Severity: SevError, InTests: true},
+		},
+		Check: func(l *Loader, pkg *Package, report func(token.Pos, string, string)) {
+			path := effectivePath(pkg)
+			if !l.SimPackage(path) || l.RNGPackage(path) {
+				return
+			}
+			for _, f := range pkg.Files {
+				eachFuncBody(pkg, f, func(obj *types.Func, recv *ast.FieldList, ftype *ast.FuncType, body *ast.BlockStmt) {
+					du := l.funcData(pkg.Info, recv, ftype, body)
+					fe := &flowEval{l: l, info: pkg.Info, du: du, enclosing: obj}
+					checkSink := func(arg ast.Expr) {
+						vf := fe.eval(arg)
+						switch {
+						case vf.clock:
+							report(arg.Pos(), "rng-taint",
+								"seed derived from wall clock or process state; thread Config.Seed and derive streams with rng.New(seed, name)")
+						case vf.seedArith:
+							report(arg.Pos(), "rng-taint",
+								"ad-hoc seed arithmetic; derive independent per-run streams with rng.Derive(seed, name)")
+						}
+					}
+					for _, blk := range du.g.blocks {
+						for _, n := range blk.nodes {
+							scanShallow(n, func(m ast.Node) bool {
+								switch x := m.(type) {
+								case *ast.CallExpr:
+									for _, i := range l.seedSinkArgs(pkg.Info, x) {
+										checkSink(x.Args[i])
+									}
+								case *ast.KeyValueExpr:
+									if key, ok := x.Key.(*ast.Ident); ok && key.Name == "Seed" {
+										if v, ok := pkg.Info.Uses[key].(*types.Var); ok && v.IsField() && l.moduleObj(v) {
+											checkSink(x.Value)
+										}
+									}
+								}
+								return true
+							})
+							if as, ok := n.(*ast.AssignStmt); ok && len(as.Lhs) == len(as.Rhs) {
+								for i, lhs := range as.Lhs {
+									if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok && l.isSeedField(pkg.Info, sel) {
+										checkSink(as.Rhs[i])
+									}
+								}
+							}
+						}
+					}
+				})
+			}
+		},
+	}
+}
+
+// moduleObj reports whether obj is declared inside this module.
+func (l *Loader) moduleObj(obj types.Object) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	p := obj.Pkg().Path()
+	return p == l.ModulePath || hasPathPrefix(p, l.ModulePath)
+}
+
+// VtimeFlow upgrades vtime-rawns with def-use chains: a bare integer
+// literal >= rawNsThreshold that reaches an eventq.Time through a variable
+// or a named constant is still a raw-nanosecond magic number.
+func VtimeFlow() *Analyzer {
+	return &Analyzer{
+		Rules: []RuleDoc{
+			{ID: "vtime-flow", Doc: "raw integer literal flows into eventq.Time through assignments or named constants; spell durations with eventq unit constants", Severity: SevError},
+		},
+		Check: func(l *Loader, pkg *Package, report func(token.Pos, string, string)) {
+			if !l.SimPackage(effectivePath(pkg)) || strings.HasSuffix(effectivePath(pkg), "internal/eventq") {
+				return
+			}
+			declExpr := constDeclExprs(pkg)
+			for _, f := range pkg.Files {
+				// Named constants: a use typed eventq.Time whose declared
+				// value is a bare literal, outside the factor position of
+				// a multiplication (`gap * eventq.Nanosecond` is the
+				// idiom being encouraged).
+				walkWithParent(f, func(n, parent ast.Node) {
+					id, ok := n.(*ast.Ident)
+					if !ok {
+						return
+					}
+					tv, ok := pkg.Info.Types[id]
+					if !ok || !isEventqTime(tv.Type) || !constAtLeast(tv, rawNsThreshold) {
+						return
+					}
+					if be, ok := parent.(*ast.BinaryExpr); ok && (be.Op == token.MUL || be.Op == token.QUO) {
+						return
+					}
+					rhs := declExpr[pkg.Info.Uses[id]]
+					if lit, ok := ast.Unparen(rhs).(*ast.BasicLit); ok && lit.Kind == token.INT {
+						report(id.Pos(), "vtime-flow",
+							fmt.Sprintf("%s (= %s) is a raw nanosecond count used as eventq.Time; declare it with unit constants", id.Name, lit.Value))
+					}
+				})
+				// Conversions: eventq.Time(x) where x is non-constant but
+				// a reaching definition is a bare >=threshold literal.
+				eachFuncBody(pkg, f, func(obj *types.Func, recv *ast.FieldList, ftype *ast.FuncType, body *ast.BlockStmt) {
+					du := l.funcData(pkg.Info, recv, ftype, body)
+					for _, blk := range du.g.blocks {
+						for _, n := range blk.nodes {
+							scanShallow(n, func(m ast.Node) bool {
+								call, ok := m.(*ast.CallExpr)
+								if !ok || len(call.Args) != 1 {
+									return true
+								}
+								ft, ok := pkg.Info.Types[call.Fun]
+								if !ok || !ft.IsType() || !isEventqTime(ft.Type) {
+									return true
+								}
+								if at, ok := pkg.Info.Types[call.Args[0]]; ok && at.Value != nil {
+									return true // constant: vtime-rawns territory
+								}
+								du.eachSource(call.Args[0], func(src ast.Expr) bool {
+									switch s := src.(type) {
+									case *ast.Ident:
+										return true // follow definitions
+									case *ast.BasicLit:
+										if s.Kind == token.INT {
+											if tv, ok := pkg.Info.Types[s]; ok && constAtLeast(tv, rawNsThreshold) {
+												report(call.Pos(), "vtime-flow",
+													fmt.Sprintf("raw literal %s reaches this eventq.Time conversion; spell the duration with unit constants", s.Value))
+											}
+										}
+									}
+									return false
+								})
+								return true
+							})
+						}
+					}
+				})
+			}
+		},
+	}
+}
+
+// constDeclExprs maps every constant/variable object in the package to its
+// declared initializer expression.
+func constDeclExprs(pkg *Package) map[types.Object]ast.Expr {
+	m := make(map[types.Object]ast.Expr)
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			vs, ok := n.(*ast.ValueSpec)
+			if !ok || len(vs.Values) != len(vs.Names) {
+				return true
+			}
+			for i, name := range vs.Names {
+				if obj := pkg.Info.Defs[name]; obj != nil {
+					m[obj] = vs.Values[i]
+				}
+			}
+			return true
+		})
+	}
+	return m
+}
+
+// constAtLeast reports whether tv is an integer constant >= min.
+func constAtLeast(tv types.TypeAndValue, min int64) bool {
+	if tv.Value == nil {
+		return false
+	}
+	v, ok := constant.Int64Val(constant.ToInt(tv.Value))
+	return ok && v >= min
+}
+
+// PathDroppedErr reports module-call results of type error or queue.Result
+// that are bound to a variable but unused along at least one path from the
+// binding to function exit — the laundered form of sched-droppederr that a
+// purely syntactic check cannot see.
+func PathDroppedErr() *Analyzer {
+	return &Analyzer{
+		Rules: []RuleDoc{
+			{ID: "path-droppederr", Doc: "an error or Enqueue result is bound but unused along at least one path; check it on every path or discard with _ explicitly", Severity: SevError},
+		},
+		Check: func(l *Loader, pkg *Package, report func(token.Pos, string, string)) {
+			if !l.SimPackage(effectivePath(pkg)) {
+				return
+			}
+			for _, f := range pkg.Files {
+				eachFuncBody(pkg, f, func(obj *types.Func, recv *ast.FieldList, ftype *ast.FuncType, body *ast.BlockStmt) {
+					du := l.funcData(pkg.Info, recv, ftype, body)
+					captured := capturedVars(pkg, body)
+					for _, blk := range du.g.blocks {
+						for idx, n := range blk.nodes {
+							switch s := n.(type) {
+							case *ast.AssignStmt:
+								checkAssignedResult(l, pkg, du, captured, blk, idx, s, report)
+							case *ast.ExprStmt:
+								if call, ok := s.X.(*ast.CallExpr); ok {
+									if tv, ok := pkg.Info.Types[call]; ok && checkedResultKind(l, tv.Type) == "queue.Result" {
+										report(s.Pos(), "path-droppederr",
+											"queue.Result discarded; Accepted must be checked (or assign to _ explicitly)")
+									}
+								}
+							}
+						}
+					}
+				})
+			}
+		},
+	}
+}
+
+// checkedResultKind classifies result types that must be consumed: the
+// error interface and internal/queue's Result.
+func checkedResultKind(l *Loader, t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Name() == "error" && obj.Pkg() == nil {
+		return "error"
+	}
+	if obj.Name() == "Result" && obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), "internal/queue") {
+		return "queue.Result"
+	}
+	return ""
+}
+
+// capturedVars collects local variables that escape flow analysis: their
+// address is taken, or they are referenced inside a function literal
+// (which may run at any time, including deferred at exit).
+func capturedVars(pkg *Package, body *ast.BlockStmt) map[*types.Var]bool {
+	captured := make(map[*types.Var]bool)
+	markIdents := func(root ast.Node) {
+		ast.Inspect(root, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				if v, ok := pkg.Info.Uses[id].(*types.Var); ok {
+					captured[v] = true
+				}
+			}
+			return true
+		})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			markIdents(x.Body)
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+					if v, ok := pkg.Info.Uses[id].(*types.Var); ok {
+						captured[v] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return captured
+}
+
+// checkAssignedResult inspects one assignment whose RHS is a single module
+// call, and path-searches each bound error/Result variable.
+func checkAssignedResult(l *Loader, pkg *Package, du *defUse, captured map[*types.Var]bool,
+	blk *cfgBlock, idx int, s *ast.AssignStmt, report func(token.Pos, string, string)) {
+	if len(s.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := staticCallee(pkg.Info, call)
+	if !l.moduleFunc(fn) {
+		return
+	}
+	for _, lhs := range s.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		v := du.localVar(id)
+		if v == nil || captured[v] {
+			continue
+		}
+		kind := checkedResultKind(l, v.Type())
+		if kind == "" {
+			continue
+		}
+		if pathDropsValue(du, v, blk, idx, s) {
+			report(id.Pos(), "path-droppederr",
+				fmt.Sprintf("%s result %s is unused on at least one path to return; check it on every path or discard with _", kind, id.Name))
+		}
+	}
+}
+
+// pathDropsValue reports whether some CFG path from the definition at
+// (blk, idx) reaches the function exit or a *different* redefinition of v
+// without passing a use. The definition node overwriting itself around a
+// loop back edge is the accumulator pattern and does not count.
+func pathDropsValue(du *defUse, v *types.Var, blk *cfgBlock, idx int, defNode ast.Node) bool {
+	uses := func(n ast.Node) bool {
+		// The targets of a plain assignment are overwritten, not read; an
+		// op-assign (+=) or ++ does read the old value and stays a use.
+		excluded := make(map[*ast.Ident]bool)
+		if as, ok := n.(*ast.AssignStmt); ok && (as.Tok == token.ASSIGN || as.Tok == token.DEFINE) {
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					excluded[id] = true
+				}
+			}
+		}
+		found := false
+		scanShallow(n, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && du.info.Uses[id] == v && !excluded[id] {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	redefines := func(n ast.Node) bool {
+		for _, d := range du.defsAt[n] {
+			if d.obj == v {
+				return true
+			}
+		}
+		return false
+	}
+	// scanFrom classifies the rest of a block: 0 = fell off the end,
+	// 1 = use reached (path closed), 2 = dropped (redefined before use).
+	scanFrom := func(b *cfgBlock, from int) int {
+		for _, n := range b.nodes[from:] {
+			if uses(n) {
+				return 1
+			}
+			if redefines(n) && n != defNode {
+				return 2
+			}
+		}
+		return 0
+	}
+	switch scanFrom(blk, idx+1) {
+	case 1:
+		return false
+	case 2:
+		return true
+	}
+	visited := map[*cfgBlock]bool{}
+	var dfs func(b *cfgBlock) bool
+	dfs = func(b *cfgBlock) bool {
+		if b == du.g.exit {
+			return true
+		}
+		if visited[b] {
+			return false
+		}
+		visited[b] = true
+		switch scanFrom(b, 0) {
+		case 1:
+			return false
+		case 2:
+			return true
+		}
+		if len(b.succs) == 0 {
+			// Dead-end block (dead code or builder artifact): not a path
+			// to exit.
+			return false
+		}
+		for _, s := range b.succs {
+			if dfs(s) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, s := range blk.succs {
+		if dfs(s) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,645 @@
+package lint
+
+// Fixture corpus for the flow-sensitive rules. Each rule gets fire and
+// stay-quiet variants, including the CFG edge cases the builder models:
+// defer in loops, labeled break/continue, goto, switch fallthrough and
+// short-circuit conditions.
+
+import (
+	"bytes"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// --- mutable-globals ---
+
+func TestMutableGlobalsFiresOutsideInit(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixmg", "fixmg.go", `
+package fixmg
+
+var counter int
+var seen = map[string]bool{}
+
+func Bump() {
+	counter++
+	seen["x"] = true
+}
+
+func Reset() {
+	counter = 0
+}
+`)
+	assertRule(t, fs, "mutable-globals", 3)
+}
+
+func TestMutableGlobalsAllowsInitAndRegisterPattern(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixmgreg", "fixmgreg.go", `
+package fixmgreg
+
+var registry []string
+
+func register(name string) {
+	registry = append(registry, name)
+}
+
+func init() {
+	register("fig06")
+	register("fig09")
+}
+`)
+	assertRule(t, fs, "mutable-globals", 0)
+}
+
+func TestMutableGlobalsEscapedHelperStillFires(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixmgesc", "fixmgesc.go", `
+package fixmgesc
+
+var registry []string
+
+func register(name string) {
+	registry = append(registry, name)
+}
+
+func init() { register("a") }
+
+// The helper escapes as a value: it can now run at any time, so its
+// write is no longer init-only.
+func Hook() func(string) { return register }
+`)
+	assertRule(t, fs, "mutable-globals", 1)
+}
+
+func TestMutableGlobalsIgnoresLocalsAndFields(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixmglocal", "fixmglocal.go", `
+package fixmglocal
+
+type Stats struct{ n int }
+
+func (s *Stats) Bump() { s.n++ }
+
+func Work() int {
+	counter := 0
+	counter++
+	return counter
+}
+`)
+	assertRule(t, fs, "mutable-globals", 0)
+}
+
+func TestMutableGlobalsFuncLitInInitFires(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixmglit", "fixmglit.go", `
+package fixmglit
+
+var hook func()
+var count int
+
+func init() {
+	// Declaring the closure in init is fine; the write inside it runs
+	// whenever the closure is called, which may be any time.
+	hook = func() { count++ }
+}
+`)
+	assertRule(t, fs, "mutable-globals", 1)
+}
+
+// --- rng-taint ---
+
+func TestRNGTaintWallClockLaundered(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixtaintclock", "fixtaintclock.go", `
+package fixtaintclock
+
+import (
+	"time"
+
+	"dibs/internal/rng"
+)
+
+func Fresh() {
+	s := time.Now().UnixNano()
+	s2 := s
+	_ = rng.New(s2, "workload")
+}
+`)
+	assertRule(t, fs, "rng-taint", 1)
+}
+
+func TestRNGTaintSeedArithmetic(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixtaintarith", "fixtaintarith.go", `
+package fixtaintarith
+
+import "dibs/internal/rng"
+
+type Opts struct{ Seed int64 }
+
+type Config struct{ Seed int64 }
+
+func Sweep(o Opts, runs int) {
+	for run := 0; run < runs; run++ {
+		var cfg Config
+		cfg.Seed = o.Seed + int64(run)*7919 // collision-prone ad-hoc derivation
+		_ = cfg
+	}
+	_ = rng.New(o.Seed*31, "workload")
+}
+`)
+	assertRule(t, fs, "rng-taint", 2)
+}
+
+func TestRNGTaintThroughHelperFacts(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixtainthelper", "fixtainthelper.go", `
+package fixtainthelper
+
+import "dibs/internal/rng"
+
+type Opts struct{ Seed int64 }
+
+// mix launders seed arithmetic through a helper; ParamArithToResult
+// facts carry the taint back to the call site.
+func mix(seed int64, run int) int64 {
+	return seed + int64(run)*7919
+}
+
+// sink makes its parameter a seed-sink via the facts store.
+func sink(seed int64) { _ = rng.New(seed, "h") }
+
+func Sweep(o Opts, runs int) {
+	for run := 0; run < runs; run++ {
+		_ = rng.New(mix(o.Seed, run), "workload")
+	}
+	sink(o.Seed * 3)
+}
+`)
+	assertRule(t, fs, "rng-taint", 2)
+}
+
+func TestRNGTaintCleanSeedsStayQuiet(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixtaintclean", "fixtaintclean.go", `
+package fixtaintclean
+
+import (
+	"fmt"
+
+	"dibs/internal/rng"
+)
+
+type Opts struct{ Seed int64 }
+
+type Config struct{ Seed int64 }
+
+func Run(o Opts, runs int) {
+	var cfg Config
+	cfg.Seed = o.Seed // plain threading is the sanctioned pattern
+	_ = rng.New(o.Seed, "workload")
+	_ = rng.New(42, "fixed") // literal seeds are legal (tests, defaults)
+	for run := 0; run < runs; run++ {
+		// rng.Derive is the sanctioned derivation; its result is a
+		// clean seed even after a conversion.
+		cfg.Seed = int64(rng.Derive(uint64(o.Seed), fmt.Sprintf("run%d", run)))
+	}
+}
+`)
+	assertRule(t, fs, "rng-taint", 0)
+}
+
+func TestRNGTaintGotoAndShortCircuitPaths(t *testing.T) {
+	// A tainted definition reaches the sink along the goto path even
+	// though the straight-line path rebinds the seed.
+	fs := lintFixture(t, "dibs/internal/fixtaintgoto", "fixtaintgoto.go", `
+package fixtaintgoto
+
+import (
+	"time"
+
+	"dibs/internal/rng"
+)
+
+func Fire(retry bool) {
+	s := time.Now().UnixNano()
+	if retry {
+		goto done
+	}
+	s = 42
+done:
+	_ = rng.New(s, "workload")
+}
+
+func Quiet(cheap bool, o struct{ Seed int64 }) {
+	s := int64(1)
+	if cheap && o.Seed > 0 {
+		s = o.Seed
+	}
+	_ = rng.New(s, "workload")
+}
+`)
+	assertRule(t, fs, "rng-taint", 1)
+}
+
+func TestRNGTaintSwitchFallthroughPath(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixtaintfall", "fixtaintfall.go", `
+package fixtaintfall
+
+import "dibs/internal/rng"
+
+type Opts struct{ Seed int64 }
+
+func Pick(o Opts, kind int) {
+	s := int64(7)
+	switch kind {
+	case 0:
+		s = o.Seed * 2 // ad-hoc arithmetic
+		fallthrough
+	case 1:
+		_ = rng.New(s, "workload") // reachable with the tainted binding
+	default:
+		_ = rng.New(s, "other") // only the literal reaches here
+	}
+}
+`)
+	assertRule(t, fs, "rng-taint", 1)
+}
+
+// --- vtime-flow ---
+
+func TestVtimeFlowNamedConstant(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixvflowconst", "fixvflowconst.go", `
+package fixvflowconst
+
+import "dibs/internal/eventq"
+
+const gap = 5000 // raw nanoseconds
+
+const spelled = 5 * eventq.Microsecond
+
+func Arm(s *eventq.Scheduler) {
+	s.After(gap, func() {})     // fires: bare literal constant as Time
+	s.After(spelled, func() {}) // quiet: declared with unit constants
+	var t eventq.Time = gap * eventq.Nanosecond
+	_ = t // quiet: gap used as a factor, the encouraged idiom
+}
+`)
+	assertRule(t, fs, "vtime-flow", 1)
+}
+
+func TestVtimeFlowThroughVariable(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixvflowvar", "fixvflowvar.go", `
+package fixvflowvar
+
+import "dibs/internal/eventq"
+
+func Arm(s *eventq.Scheduler, rate int) {
+	d := 250000
+	d2 := d
+	s.After(eventq.Time(d2), func() {}) // fires: literal reaches the conversion
+
+	small := 8
+	s.After(eventq.Time(small), func() {}) // quiet: below the threshold
+
+	bits := rate * 8
+	s.After(eventq.Time(bits), func() {}) // quiet: computed, not a magic literal
+}
+`)
+	assertRule(t, fs, "vtime-flow", 1)
+}
+
+func TestVtimeFlowLoopAndDeferPaths(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixvflowloop", "fixvflowloop.go", `
+package fixvflowloop
+
+import "dibs/internal/eventq"
+
+func Arm(s *eventq.Scheduler, n int) {
+	d := 0
+	for i := 0; i < n; i++ {
+		defer func() {}()
+		if i == 0 {
+			d = 90000 // raw ns assigned on the first iteration
+			continue
+		}
+		s.After(eventq.Time(d), func() {}) // fires via the back edge
+	}
+}
+`)
+	assertRule(t, fs, "vtime-flow", 1)
+}
+
+// --- path-droppederr ---
+
+func TestPathDroppedErrBranchMiss(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixpatherr", "fixpatherr.go", `
+package fixpatherr
+
+import "errors"
+
+func mayFail() error { return errors.New("boom") }
+
+func handle(error) {}
+
+func Fire(check bool) {
+	err := mayFail()
+	if check {
+		handle(err)
+	}
+	// err unused on the !check path
+}
+
+func Quiet(check bool) {
+	err := mayFail()
+	if check {
+		handle(err)
+	} else {
+		handle(err)
+	}
+}
+
+func QuietStraight() {
+	err := mayFail()
+	handle(err)
+}
+
+func QuietDiscard() {
+	_ = mayFail()
+}
+`)
+	assertRule(t, fs, "path-droppederr", 1)
+}
+
+func TestPathDroppedErrRedefine(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixpathredef", "fixpathredef.go", `
+package fixpathredef
+
+import "errors"
+
+func mayFail() error { return errors.New("boom") }
+
+func handle(error) {}
+
+func Fire() {
+	err := mayFail()
+	err = mayFail() // first result overwritten unchecked
+	handle(err)
+}
+
+func QuietAccumulator(n int) error {
+	var last error
+	for i := 0; i < n; i++ {
+		last = mayFail() // self-overwrite across iterations: keep-last pattern
+	}
+	return last
+}
+`)
+	assertRule(t, fs, "path-droppederr", 1)
+}
+
+func TestPathDroppedErrDeferAndShortCircuit(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixpathdefer", "fixpathdefer.go", `
+package fixpathdefer
+
+import "errors"
+
+func mayFail() error { return errors.New("boom") }
+
+func handle(error) {}
+
+func QuietDefer() {
+	err := mayFail()
+	defer func() { handle(err) }() // captured: checked at every exit
+}
+
+func QuietShortCircuit(a bool) bool {
+	err := mayFail()
+	return a && err != nil // use inside the conditional operand
+}
+
+func FireLabeledBreak(items []int) {
+loop:
+	for range items {
+		err := mayFail()
+		if len(items) > 3 {
+			break loop // leaves with err unchecked
+		}
+		handle(err)
+	}
+}
+`)
+	assertRule(t, fs, "path-droppederr", 1)
+}
+
+func TestPathDroppedQueueResult(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixpathq", "fixpathq.go", `
+package fixpathq
+
+import (
+	"dibs/internal/packet"
+	"dibs/internal/queue"
+)
+
+func Fire(q queue.Queue, p *packet.Packet, loud bool) {
+	q.Enqueue(p) // result discarded outright
+	r := q.Enqueue(p)
+	if loud {
+		_ = r.Accepted
+	}
+	// r unused on the quiet path
+}
+
+func Quiet(q queue.Queue, p *packet.Packet) bool {
+	r := q.Enqueue(p)
+	return r.Accepted
+}
+`)
+	assertRule(t, fs, "path-droppederr", 2)
+}
+
+// --- facts store ---
+
+func TestFactsComputedForLoadedPackages(t *testing.T) {
+	l := loaderForTest(t)
+	pkg, err := l.LoadSynthetic("dibs/internal/fixfacts", map[string]string{"fixfacts.go": `
+package fixfacts
+
+import (
+	"time"
+
+	"dibs/internal/rng"
+)
+
+var state int
+
+func Clocky() int64 { return time.Now().UnixNano() }
+
+func Mutator() { state++ }
+
+func SeedSink(seed int64) { _ = rng.New(seed, "s") }
+
+func Passthrough(x int64) int64 { return x }
+
+func Arith(x int64) int64 { return x * 31 }
+`})
+	if err != nil {
+		t.Fatalf("LoadSynthetic: %v", err)
+	}
+	lookup := func(name string) FuncFacts {
+		t.Helper()
+		fn, ok := pkg.Types.Scope().Lookup(name).(*types.Func)
+		if !ok {
+			t.Fatalf("no function %s", name)
+		}
+		facts, ok := l.FactsFor(fn)
+		if !ok {
+			t.Fatalf("no facts for %s", name)
+		}
+		return facts
+	}
+	if f := lookup("Clocky"); !f.ReadsClock || !f.ResultClockTainted {
+		t.Errorf("Clocky facts = %+v, want ReadsClock and ResultClockTainted", f)
+	}
+	if f := lookup("Mutator"); !f.MutatesState {
+		t.Errorf("Mutator facts = %+v, want MutatesState", f)
+	}
+	if f := lookup("SeedSink"); f.SeedSinkParams != 1 {
+		t.Errorf("SeedSink facts = %+v, want SeedSinkParams bit 0", f)
+	}
+	if f := lookup("Passthrough"); f.ParamToResult != 1 || f.ParamArithToResult != 0 {
+		t.Errorf("Passthrough facts = %+v, want ParamToResult bit 0 only", f)
+	}
+	if f := lookup("Arith"); f.ParamArithToResult != 1 {
+		t.Errorf("Arith facts = %+v, want ParamArithToResult bit 0", f)
+	}
+}
+
+// --- JSON output ---
+
+func TestWriteJSONGolden(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixjson", "fixjson.go", `
+package fixjson
+
+import "math/rand"
+
+func Roll() int { return rand.Intn(6) }
+`)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, fs); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	golden := filepath.Join("testdata", "json_golden.json")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("JSON output mismatch\n got: %s\nwant: %s", buf.Bytes(), want)
+	}
+}
+
+func TestWriteJSONEmptyIsArray(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if got := buf.String(); got != "[]\n" {
+		t.Errorf("empty findings = %q, want []\\n", got)
+	}
+}
+
+// --- loader test variants ---
+
+func TestLoadTestsAugmentsPackage(t *testing.T) {
+	l := loaderForTest(t)
+	pkgs, err := l.LoadTests("dibs/internal/queue")
+	if err != nil {
+		t.Fatalf("LoadTests: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages returned")
+	}
+	aug := pkgs[0]
+	if aug.TestOf != "dibs/internal/queue" {
+		t.Errorf("augmented package TestOf = %q, want the base path", aug.TestOf)
+	}
+	hasTestFile := false
+	for _, f := range aug.Files {
+		if strings.HasSuffix(l.Fset.Position(f.Pos()).Filename, "_test.go") {
+			hasTestFile = true
+		}
+	}
+	if !hasTestFile {
+		t.Error("augmented package must include _test.go files")
+	}
+	// The production package stays cached unaugmented for other importers.
+	base, err := l.Load("dibs/internal/queue")
+	if err != nil {
+		t.Fatalf("Load after LoadTests: %v", err)
+	}
+	for _, f := range base.Files {
+		if strings.HasSuffix(l.Fset.Position(f.Pos()).Filename, "_test.go") {
+			t.Error("production package cache was polluted with test files")
+		}
+	}
+	// The repo's own test files must lint clean under the test-rule set
+	// (literal-seeded rand.New in tests is legal; wall-clock seeding is not).
+	if fs := l.Run(pkgs, Analyzers()); len(fs) != 0 {
+		t.Errorf("internal/queue test build should lint clean, got %v", rulesOf(fs))
+	}
+}
+
+// --- severity and test-file filtering ---
+
+func TestSeverityStamped(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixsev", "fixsev.go", `
+package fixsev
+
+import "math/rand"
+
+func Roll() int { return rand.Intn(6) }
+`)
+	if len(fs) == 0 {
+		t.Fatal("expected findings")
+	}
+	for _, f := range fs {
+		if f.Severity != SevError {
+			t.Errorf("finding %s has severity %q, want %q", f.Rule, f.Severity, SevError)
+		}
+	}
+}
+
+func TestTestFileFindingsFiltered(t *testing.T) {
+	l := loaderForTest(t)
+	pkg, err := l.LoadSynthetic("dibs/internal/fixtestfilter", map[string]string{
+		"fixtestfilter.go": `
+package fixtestfilter
+
+func Placeholder() {}
+`,
+		"fixtestfilter_extra_test.go": `
+package fixtestfilter
+
+import (
+	"math/rand"
+	"time"
+
+	"dibs/internal/rng"
+)
+
+func helperGlobalRand() int { return rand.Intn(6) } // nondet-globalrand: InTests
+
+func helperClockSeed() {
+	_ = rng.New(time.Now().UnixNano(), "flaky") // rng-taint: InTests
+}
+
+func helperTiming() int64 {
+	start := time.Now() // nondet-wallclock: filtered out in tests
+	return start.Unix()
+}
+`,
+	})
+	if err != nil {
+		t.Fatalf("LoadSynthetic: %v", err)
+	}
+	fs := l.Run([]*Package{pkg}, Analyzers())
+	assertRule(t, fs, "nondet-globalrand", 1)
+	assertRule(t, fs, "rng-taint", 1)
+	assertRule(t, fs, "nondet-wallclock", 0)
+}

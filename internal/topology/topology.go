@@ -396,7 +396,7 @@ func Linear(n, hostsPer int, spec LinkSpec) *Topology {
 // indicates an infeasible parameter choice).
 func Jellyfish(nSwitches, switchDegree, hostsPer int, spec LinkSpec, seed int64) *Topology {
 	for attempt := 0; attempt < 50; attempt++ {
-		t := jellyfishOnce(nSwitches, switchDegree, hostsPer, spec, seed+int64(attempt)*0x9E37)
+		t := jellyfishOnce(nSwitches, switchDegree, hostsPer, spec, seed, attempt)
 		if t.connected() {
 			return t
 		}
@@ -417,14 +417,14 @@ func (t *Topology) connected() bool {
 	return true
 }
 
-func jellyfishOnce(nSwitches, switchDegree, hostsPer int, spec LinkSpec, seed int64) *Topology {
+func jellyfishOnce(nSwitches, switchDegree, hostsPer int, spec LinkSpec, seed int64, attempt int) *Topology {
 	if nSwitches*switchDegree%2 != 0 {
 		panic("topology: jellyfish nSwitches*switchDegree must be even")
 	}
 	if switchDegree >= nSwitches {
 		panic("topology: jellyfish degree must be < nSwitches")
 	}
-	rnd := rng.New(seed, "topology/jellyfish")
+	rnd := rng.New(seed, fmt.Sprintf("topology/jellyfish/attempt%d", attempt))
 	b := newBuilder(fmt.Sprintf("jellyfish-%d-%d", nSwitches, switchDegree))
 	sw := make([]packet.NodeID, nSwitches)
 	for i := range sw {

@@ -25,7 +25,7 @@ step "go vet"
 go vet ./...
 
 step "dibslint"
-go run ./cmd/dibslint ./...
+go run ./cmd/dibslint -tests ./...
 
 step "go build"
 go build ./...
