@@ -12,6 +12,8 @@ import (
 
 	"dibs"
 	"dibs/internal/experiments"
+	"dibs/internal/packet"
+	"dibs/internal/topology"
 )
 
 // benchScale keeps a single iteration around a second of wall time.
@@ -85,17 +87,55 @@ func BenchmarkMinRTO(b *testing.B)           { benchExperiment(b, "minrto") }
 // processed per second.
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportAllocs()
-	var events uint64
+	var events, pkts uint64
 	for i := 0; i < b.N; i++ {
 		cfg := dibs.DefaultConfig()
 		cfg.Seed = int64(i + 1)
 		cfg.Duration = 50 * dibs.Millisecond
 		cfg.Drain = 50 * dibs.Millisecond
 		n := dibs.Build(cfg)
-		n.Run()
+		r := n.Run()
 		events += n.Sched.Executed()
+		pkts += r.PoolBorrowed
 	}
 	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+	// Packets emitted per iteration (data + ACKs), so cmd/bench can derive
+	// allocs per packet.
+	b.ReportMetric(float64(pkts)/float64(b.N), "pkts/op")
+}
+
+// BenchmarkPacketPool measures the steady-state borrow/return cycle of the
+// packet arena. It must report 0 allocs/op: any allocation here means the
+// pool is not recycling and the per-packet hot path regressed (cmd/bench
+// gates on it).
+func BenchmarkPacketPool(b *testing.B) {
+	pool := packet.NewPool()
+	pool.Put(pool.Get()) // warm one node into the freelist
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pool.Get()
+		p.Kind = packet.Data
+		p.PayloadBytes = packet.DefaultMSS
+		pool.Put(p)
+	}
+}
+
+// BenchmarkNextHops measures the per-hop FIB lookup on a K=8 fat-tree —
+// the lookup every switch performs for every packet.
+func BenchmarkNextHops(b *testing.B) {
+	topo := topology.FatTree(8, topology.DefaultLink, 1)
+	hosts := topo.Hosts()
+	sws := topo.Switches()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += len(topo.NextHops(sws[i%len(sws)], hosts[i%len(hosts)]))
+	}
+	if sink == 0 {
+		b.Fatal("no next hops found")
+	}
 }
 
 // BenchmarkIncastBurst measures one synchronized 100-way incast absorbed by

@@ -1,16 +1,21 @@
 // Command bench produces and checks the repository's tracked performance
 // baseline (BENCH_N.json).
 //
-// It runs the two headline Go benchmarks (BenchmarkSimulatorThroughput,
-// BenchmarkIncastBurst) as a `go test -bench` subprocess, times a fixed
-// small-scale fig08+fig09 pass and a full `-all -scale 0.1` experiments
-// pass in-process, and writes the numbers as JSON.
+// It runs the headline Go benchmarks (BenchmarkSimulatorThroughput,
+// BenchmarkIncastBurst, BenchmarkPacketPool, BenchmarkNextHops) as a
+// `go test -bench` subprocess, times a fixed small-scale fig08+fig09 pass
+// (recording a heap summary around it) and a full `-all -scale 0.1`
+// experiments pass in-process, and writes the numbers as JSON. The
+// throughput benchmark also reports pkts/op, from which allocs_per_packet
+// is derived — the headline number of the zero-allocation packet path.
 //
 // Usage:
 //
-//	bench -out BENCH_3.json              # measure and write the baseline
-//	bench -compare BENCH_3.json          # measure and gate: exit 1 on a
-//	                                     # >20% events/sec regression
+//	bench -out BENCH_5.json              # measure and write the baseline
+//	bench -compare BENCH_5.json          # measure and gate: exit 1 on a
+//	                                     # >20% events/sec loss, a >20%
+//	                                     # allocs/op growth, or any
+//	                                     # allocation in the packet pool
 //	bench -out B.json -skip-all          # skip the slow -all pass
 package main
 
@@ -36,9 +41,23 @@ type Baseline struct {
 	// Fig0809Seconds is the wall time of a fig08+fig09 pass at seed 1,
 	// scale 0.1, default workers.
 	Fig0809Seconds float64 `json:"fig08_09_seconds"`
+	// Fig0809Heap summarizes heap behavior over that same pass.
+	Fig0809Heap HeapSummary `json:"fig08_09_heap"`
 	// AllScale01Seconds is the wall time of every experiment at scale 0.1
 	// (the `cmd/figures -all -scale 0.1` workload), default workers.
 	AllScale01Seconds float64 `json:"all_scale_0.1_seconds"`
+}
+
+// HeapSummary is a runtime.MemStats delta over a measured pass — the
+// stdlib-only stand-in for a full heap profile, enough to spot an
+// allocation-rate regression at a glance.
+type HeapSummary struct {
+	// TotalAllocMB is heap megabytes allocated during the pass.
+	TotalAllocMB float64 `json:"total_alloc_mb"`
+	// NumGC is the number of GC cycles the pass triggered.
+	NumGC uint32 `json:"num_gc"`
+	// HeapInUseMB is the live heap at the end of the pass.
+	HeapInUseMB float64 `json:"heap_in_use_mb"`
 }
 
 // BenchResult is one parsed `go test -bench` line.
@@ -49,6 +68,11 @@ type BenchResult struct {
 	// EventsPerSec is derived from the benchmark's events/op metric; only
 	// BenchmarkSimulatorThroughput reports it.
 	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	// PktsPerOp is the pkts/op metric (packets emitted per iteration);
+	// AllocsPerPacket = AllocsPerOp / PktsPerOp, the per-packet allocation
+	// budget of the hot path.
+	PktsPerOp       float64 `json:"pkts_per_op,omitempty"`
+	AllocsPerPacket float64 `json:"allocs_per_packet,omitempty"`
 }
 
 // regressionTolerance is the fraction of the baseline events/sec a new
@@ -80,8 +104,9 @@ func main() {
 	}
 
 	fmt.Fprintln(os.Stderr, "== fig08+fig09 pass (scale 0.1)")
-	b.Fig0809Seconds = timeExperiments([]string{"fig08", "fig09"})
-	fmt.Fprintf(os.Stderr, "   %.1fs\n", b.Fig0809Seconds)
+	b.Fig0809Seconds, b.Fig0809Heap = timeExperimentsWithHeap([]string{"fig08", "fig09"})
+	fmt.Fprintf(os.Stderr, "   %.1fs, %.0f MB allocated, %d GCs, %.0f MB live\n",
+		b.Fig0809Seconds, b.Fig0809Heap.TotalAllocMB, b.Fig0809Heap.NumGC, b.Fig0809Heap.HeapInUseMB)
 
 	if !*skipAll {
 		fmt.Fprintln(os.Stderr, "== all experiments (scale 0.1)")
@@ -126,7 +151,7 @@ var metricRe = regexp.MustCompile(`([\d.e+]+)\s+(\S+)`)
 // the results into b.
 func runGoBench(b *Baseline) error {
 	cmd := exec.Command("go", "test", "-run", "^$",
-		"-bench", "^(BenchmarkSimulatorThroughput|BenchmarkIncastBurst)$",
+		"-bench", "^(BenchmarkSimulatorThroughput|BenchmarkIncastBurst|BenchmarkPacketPool|BenchmarkNextHops)$",
 		"-benchmem", ".")
 	cmd.Stderr = os.Stderr
 	outBytes, err := cmd.Output()
@@ -155,10 +180,15 @@ func runGoBench(b *Baseline) error {
 				r.AllocsPerOp = v
 			case "events/op":
 				eventsPerOp = v
+			case "pkts/op":
+				r.PktsPerOp = v
 			}
 		}
 		if eventsPerOp > 0 && r.NsPerOp > 0 {
 			r.EventsPerSec = eventsPerOp / r.NsPerOp * 1e9
+		}
+		if r.PktsPerOp > 0 {
+			r.AllocsPerPacket = r.AllocsPerOp / r.PktsPerOp
 		}
 		b.Benchmarks[name] = r
 		fmt.Fprintf(os.Stderr, "   %s\n", line)
@@ -188,8 +218,27 @@ func timeExperiments(ids []string) float64 {
 	return time.Since(start).Seconds()
 }
 
-// gate fails when the new throughput lost more than regressionTolerance
-// versus the stored baseline.
+// timeExperimentsWithHeap is timeExperiments plus a MemStats delta bracket:
+// a GC before the pass settles the baseline, and the allocation/GC deltas
+// over the pass form the heap summary.
+func timeExperimentsWithHeap(ids []string) (float64, HeapSummary) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	secs := timeExperiments(ids)
+	runtime.ReadMemStats(&after)
+	const mb = 1 << 20
+	return secs, HeapSummary{
+		TotalAllocMB: float64(after.TotalAlloc-before.TotalAlloc) / mb,
+		NumGC:        after.NumGC - before.NumGC,
+		HeapInUseMB:  float64(after.HeapInuse) / mb,
+	}
+}
+
+// gate fails when the new measurement regressed versus the stored baseline:
+// more than regressionTolerance events/sec lost, more than
+// regressionTolerance allocs/op gained, or any allocation at all in the
+// packet pool's steady state.
 func gate(path string, got Baseline) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -199,16 +248,30 @@ func gate(path string, got Baseline) error {
 	if err := json.Unmarshal(data, &want); err != nil {
 		return fmt.Errorf("parsing %s: %w", path, err)
 	}
-	base := want.Benchmarks["BenchmarkSimulatorThroughput"].EventsPerSec
-	now := got.Benchmarks["BenchmarkSimulatorThroughput"].EventsPerSec
-	if base <= 0 {
+	baseTP := want.Benchmarks["BenchmarkSimulatorThroughput"]
+	nowTP := got.Benchmarks["BenchmarkSimulatorThroughput"]
+	if baseTP.EventsPerSec <= 0 {
 		return fmt.Errorf("%s has no events/sec baseline", path)
 	}
-	if now < base*(1-regressionTolerance) {
+	if nowTP.EventsPerSec < baseTP.EventsPerSec*(1-regressionTolerance) {
 		return fmt.Errorf("events/sec %.0f is %.1f%% below baseline %.0f (tolerance %.0f%%)",
-			now, 100*(1-now/base), base, 100*regressionTolerance)
+			nowTP.EventsPerSec, 100*(1-nowTP.EventsPerSec/baseTP.EventsPerSec),
+			baseTP.EventsPerSec, 100*regressionTolerance)
 	}
 	fmt.Fprintf(os.Stderr, "events/sec: baseline %.0f, now %.0f (%+.1f%%)\n",
-		base, now, 100*(now/base-1))
+		baseTP.EventsPerSec, nowTP.EventsPerSec, 100*(nowTP.EventsPerSec/baseTP.EventsPerSec-1))
+	if baseTP.AllocsPerOp > 0 {
+		if nowTP.AllocsPerOp > baseTP.AllocsPerOp*(1+regressionTolerance) {
+			return fmt.Errorf("allocs/op %.0f is %.1f%% above baseline %.0f (tolerance %.0f%%)",
+				nowTP.AllocsPerOp, 100*(nowTP.AllocsPerOp/baseTP.AllocsPerOp-1),
+				baseTP.AllocsPerOp, 100*regressionTolerance)
+		}
+		fmt.Fprintf(os.Stderr, "allocs/op: baseline %.0f, now %.0f (%+.1f%%)\n",
+			baseTP.AllocsPerOp, nowTP.AllocsPerOp, 100*(nowTP.AllocsPerOp/baseTP.AllocsPerOp-1))
+	}
+	if pool, ok := got.Benchmarks["BenchmarkPacketPool"]; ok && pool.AllocsPerOp != 0 {
+		return fmt.Errorf("BenchmarkPacketPool allocates %.0f allocs/op; the pool steady state must be 0",
+			pool.AllocsPerOp)
+	}
 	return nil
 }

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"dibs"
+	"dibs/internal/prof"
 	"dibs/internal/runner"
 	"dibs/internal/stats"
 )
@@ -52,8 +53,17 @@ func main() {
 		events   = flag.String("events", "", "write a JSONL event trace to this file")
 		confIn   = flag.String("config", "", "load a JSON config file (flags apply on top where set)")
 		confOut  = flag.String("dumpconfig", "", "write the effective JSON config to this file and exit")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	cfg := dibs.DefaultConfig()
 	if *confIn != "" {

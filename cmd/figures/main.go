@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"dibs/internal/experiments"
+	"dibs/internal/prof"
 )
 
 func main() {
@@ -35,8 +36,17 @@ func main() {
 		verbose = flag.Bool("v", false, "log each simulation run")
 		format  = flag.String("format", "text", "output format: text|json|csv")
 		workers = flag.Int("workers", 0, "parallel sweep runs (0 = GOMAXPROCS, 1 = serial); output is identical for any value")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	if *list {
 		for _, e := range experiments.All() {

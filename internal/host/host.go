@@ -39,17 +39,21 @@ func New(id packet.NodeID) *Host {
 	}
 }
 
-// Send enqueues a locally generated packet on the NIC.
+// Send enqueues a locally generated packet on the NIC. A refused packet is
+// a terminal path: the host counts it and returns it to the pool.
 func (h *Host) Send(p *packet.Packet) {
 	if p.Kind == packet.Data && h.TracePacket != nil && h.TracePacket(p) {
-		p.Trace = make([]packet.TraceHop, 0, 16)
+		p.AttachTrace()
 	}
 	if r := h.NIC.Enqueue(p); !r.Accepted {
 		h.NICDrops++
+		packet.Free(p)
 	}
 }
 
 // Receive implements switching.Handler: demultiplex to the flow endpoint.
+// Delivery is a terminal path — the endpoints and hooks read the packet but
+// never retain it, so it goes back to the pool afterwards.
 func (h *Host) Receive(p *packet.Packet, port int) {
 	if h.OnDeliver != nil {
 		h.OnDeliver(p)
@@ -64,6 +68,7 @@ func (h *Host) Receive(p *packet.Packet, port int) {
 			s.OnAck(p)
 		}
 	}
+	packet.Free(p)
 }
 
 // AddSender registers the sending endpoint of a flow originating here.

@@ -385,3 +385,70 @@ func Fan(n int, fn func(int)) {
 	fs = lintFixture(t, "dibs/cmd/fixpool", "fixpool.go", src)
 	assertRule(t, fs, "nondet-goroutine", 0)
 }
+
+func TestPacketLiteralFlaggedInSimPackage(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixhotpath", "fixhotpath.go", `
+package fixhotpath
+
+import "dibs/internal/packet"
+
+func Emit() *packet.Packet {
+	return &packet.Packet{Kind: packet.Data, TTL: 255}
+}
+
+func EmitValue() packet.Packet {
+	return packet.Packet{Kind: packet.Ack}
+}
+`)
+	assertRule(t, fs, "hotpath-alloc", 2)
+}
+
+func TestPacketLiteralAllowedOutsidePerimeter(t *testing.T) {
+	fs := lintFixture(t, "dibs/cmd/fixhotpathcmd", "fixhotpathcmd.go", `
+package fixhotpathcmd
+
+import "dibs/internal/packet"
+
+func Probe() *packet.Packet { return &packet.Packet{Kind: packet.Data} }
+`)
+	assertRule(t, fs, "hotpath-alloc", 0)
+}
+
+func TestPacketLiteralIgnoreDirective(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixhotpathign", "fixhotpathign.go", `
+package fixhotpathign
+
+import "dibs/internal/packet"
+
+func Probe() *packet.Packet {
+	//dibslint:ignore hotpath-alloc cold path, one packet per run
+	return &packet.Packet{Kind: packet.Data}
+}
+`)
+	assertRule(t, fs, "hotpath-alloc", 0)
+}
+
+func TestPacketLiteralAllowedInTests(t *testing.T) {
+	l := loaderForTest(t)
+	pkg, err := l.LoadSynthetic("dibs/internal/fixhotpathtest", map[string]string{
+		"fixhotpathtest.go": `
+package fixhotpathtest
+
+import "dibs/internal/packet"
+
+func Use(p *packet.Packet) int { return p.TTL }
+`,
+		"fixhotpathtest_extra_test.go": `
+package fixhotpathtest
+
+import "dibs/internal/packet"
+
+func helperPacket() *packet.Packet { return &packet.Packet{Kind: packet.Data, TTL: 8} }
+`,
+	})
+	if err != nil {
+		t.Fatalf("LoadSynthetic: %v", err)
+	}
+	fs := l.Run([]*Package{pkg}, Analyzers())
+	assertRule(t, fs, "hotpath-alloc", 0)
+}

@@ -21,6 +21,7 @@ func Analyzers() []*Analyzer {
 		RNGTaint(),
 		VtimeFlow(),
 		PathDroppedErr(),
+		HotPathAlloc(),
 	}
 }
 
@@ -511,4 +512,51 @@ func walkWithParent(root ast.Node, visit func(n, parent ast.Node)) {
 		stack = append(stack, n)
 		return true
 	})
+}
+
+// HotPathAlloc keeps the packet pool the sole packet constructor in
+// simulation code: a packet.Packet composite literal heap-allocates on the
+// per-packet hot path and bypasses the pool's conservation accounting
+// (such a packet is invisible to leak checks and is never recycled).
+// internal/packet itself is exempt — the pool's own Get/reset code is the
+// sanctioned constructor — and the rule stays off in _test.go files, where
+// hand-built packets injected into switches are the normal idiom.
+func HotPathAlloc() *Analyzer {
+	return &Analyzer{
+		Rules: []RuleDoc{
+			{ID: "hotpath-alloc", Doc: "packet.Packet composite literal outside internal/packet; borrow from the run's pool (Pool.Get) and Free on the terminal path", Severity: SevError},
+		},
+		Check: func(l *Loader, pkg *Package, report func(token.Pos, string, string)) {
+			path := effectivePath(pkg)
+			if !l.SimPackage(path) || path == l.ModulePath+"/internal/packet" {
+				return
+			}
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					cl, ok := n.(*ast.CompositeLit)
+					if !ok {
+						return true
+					}
+					tv, ok := pkg.Info.Types[cl]
+					if !ok {
+						return true
+					}
+					if isPacketType(tv.Type) {
+						report(cl.Pos(), "hotpath-alloc",
+							"packet.Packet composite literal allocates per packet; borrow from the run's packet.Pool and return it on the terminal path")
+					}
+					return true
+				})
+			}
+		},
+	}
+}
+
+func isPacketType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Packet" &&
+		strings.HasSuffix(named.Obj().Pkg().Path(), "internal/packet")
 }

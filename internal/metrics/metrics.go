@@ -104,8 +104,11 @@ type Collector struct {
 	// DetourCounts samples the per-delivered-packet detour count.
 	DetourCounts stats.Sample
 
-	// DeliveredData counts data packets delivered to hosts.
+	// DeliveredData counts data packets delivered to hosts; DeliveredAcks
+	// counts delivered ACKs. Together with the drop counters they account
+	// for every packet the pool hands out (conservation checks).
 	DeliveredData uint64
+	DeliveredAcks uint64
 }
 
 // NewCollector creates a collector bound to the scheduler's clock.
@@ -148,6 +151,9 @@ func (c *Collector) onDetour(node packet.NodeID, p *packet.Packet, desired, chos
 // layer calls this for every data packet.
 func (c *Collector) OnDeliver(p *packet.Packet) {
 	if p.Kind != packet.Data {
+		if p.Kind == packet.Ack {
+			c.DeliveredAcks++
+		}
 		return
 	}
 	c.DeliveredData++

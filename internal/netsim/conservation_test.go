@@ -19,6 +19,28 @@ func queuedPackets(n *Network) int {
 	return total
 }
 
+// poolConserved checks the packet-pool conservation invariant after a fully
+// drained run: every borrowed packet was returned on a terminal path
+// (borrowed == returned). A leak names the offending packets — flow, kind,
+// seq — via the pool's identity tracking; a double return or use of a
+// recycled node is caught earlier by the pool itself, which panics with the
+// packet and its generation counter.
+func poolConserved(t *testing.T, n *Network) bool {
+	t.Helper()
+	if n.Pool.Live() == 0 {
+		return true
+	}
+	t.Logf("pool: borrowed %d, returned %d, live %d", n.Pool.Borrowed(), n.Pool.Returned(), n.Pool.Live())
+	for i, p := range n.Pool.Leaked() {
+		if i >= 10 {
+			t.Logf("... and %d more", n.Pool.Live()-10)
+			break
+		}
+		t.Logf("leaked: %v (gen %d)", p, p.Gen())
+	}
+	return false
+}
+
 // Property: after a fully drained run, no packets remain queued anywhere,
 // every started query completes, and the DIBS invariant holds: zero
 // overflow drops.
@@ -47,6 +69,10 @@ func TestQuickDrainedRunConservation(t *testing.T) {
 		}
 		if r.Drops[0] != 0 { // overflow drops never happen under DIBS
 			t.Logf("seed %d: overflow drops %d", cfg.Seed, r.Drops[0])
+			return false
+		}
+		if !poolConserved(t, n) {
+			t.Logf("seed %d: packet pool leaked", cfg.Seed)
 			return false
 		}
 		// Every endpoint cleaned up: no leaked flows on any host.
@@ -98,6 +124,18 @@ func TestQuickNoPacketLeaks(t *testing.T) {
 			t.Logf("delivered only %d data packets", r.DeliveredData)
 			return false
 		}
+		if !poolConserved(t, n) {
+			return false
+		}
+		// Every pool return happened on a known terminal path: delivery
+		// (data or ACK), a switch drop, or a NIC refusal. Anything else
+		// would mean a packet was silently destroyed.
+		accounted := uint64(r.DeliveredData) + r.Collector.DeliveredAcks +
+			r.TotalDrops + r.HostNICDrops
+		if r.PoolReturned != accounted {
+			t.Logf("pool returned %d but terminal paths account for %d", r.PoolReturned, accounted)
+			return false
+		}
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
@@ -122,8 +160,9 @@ func TestQuickInfiniteBufferNeverDrops(t *testing.T) {
 			Degree:        int(degRaw%14) + 2,
 			ResponseBytes: 20_000,
 		}
-		r := Build(cfg).Run()
-		return r.TotalDrops == 0 && r.Detours == 0
+		n := Build(cfg)
+		r := n.Run()
+		return r.TotalDrops == 0 && r.Detours == 0 && poolConserved(t, n)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
 		t.Fatal(err)
@@ -162,5 +201,8 @@ func TestCollectorFlowAccounting(t *testing.T) {
 	}
 	if doneQuery == 0 || r.QueriesDone == 0 {
 		t.Fatal("no query flows completed")
+	}
+	if !poolConserved(t, n) {
+		t.Fatal("packet pool leaked")
 	}
 }

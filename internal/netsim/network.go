@@ -22,6 +22,9 @@ type Network struct {
 	Cfg   Config
 	Sched *eventq.Scheduler
 	Topo  *topology.Topology
+	// Pool is the per-run packet arena: every segment/ACK the transports
+	// emit is borrowed from it and returned on its terminal path.
+	Pool *packet.Pool
 	// Switches is indexed by node ID (nil entries for hosts); entries are
 	// *switching.Switch (output-queued) or *switching.CIOQSwitch per
 	// Config.Arch.
@@ -65,6 +68,7 @@ func Build(cfg Config) *Network {
 	n := &Network{
 		Cfg:   cfg,
 		Sched: eventq.NewScheduler(),
+		Pool:  packet.NewPool(),
 	}
 	n.Topo = buildTopo(cfg)
 	n.Collector = metrics.NewCollector(n.Sched)
@@ -313,7 +317,7 @@ func (n *Network) StartFlow(src, dst packet.NodeID, bytes int64,
 	}
 
 	tc := n.transportConfig()
-	env := transport.Env{Sched: n.Sched}
+	env := transport.Env{Sched: n.Sched, Pool: n.Pool}
 
 	sEnv := env
 	sEnv.Emit = srcHost.Send

@@ -47,6 +47,14 @@ type Results struct {
 	LongGoodputs []float64
 	JainIndex    float64
 
+	// Packet-pool accounting (DESIGN §9 memory model): every packet the
+	// transports borrow must be returned on a terminal path. PoolLive is
+	// borrowed − returned at the end of the run — packets still buffered
+	// in queues or in flight when the run was cut off (0 for drained runs).
+	PoolBorrowed uint64
+	PoolReturned uint64
+	PoolLive     int
+
 	// Collector retains the full samples for CDF-level analysis.
 	Collector *metrics.Collector
 }
@@ -83,6 +91,9 @@ func (n *Network) results(end eventq.Time) *Results {
 		r.FastRecovers += s.FastRecovers
 	}
 	r.PFCPauses = n.PFCPauses()
+	r.PoolBorrowed = n.Pool.Borrowed()
+	r.PoolReturned = n.Pool.Returned()
+	r.PoolLive = n.Pool.Live()
 	if len(n.longRx) > 0 {
 		secs := end.Seconds()
 		for _, rx := range n.longRx {

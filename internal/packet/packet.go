@@ -59,8 +59,10 @@ type TraceHop struct {
 	Detoured bool
 }
 
-// Packet is a single segment in flight. Packets are heap-allocated and
-// reused only after delivery; the simulator is single-threaded so no
+// Packet is a single segment in flight. Simulation packets are borrowed
+// from a per-run Pool and recycled on every terminal path; tests may still
+// build them as plain composite literals (such packets have no pool and
+// Free ignores them). The simulator is single-threaded so no
 // synchronization is needed.
 type Packet struct {
 	Kind Kind
@@ -106,6 +108,35 @@ type Packet struct {
 
 	// Trace, when non-nil, accumulates the forwarding path.
 	Trace []TraceHop
+
+	// Pool bookkeeping (see pool.go). pool is nil for packets built as
+	// composite literals; gen counts recycles so stale holders are
+	// detectable; pooled marks a node sitting in the freelist; traceBuf
+	// retains trace storage across recycles.
+	pool     *Pool
+	gen      uint32
+	pooled   bool
+	traceBuf []TraceHop
+}
+
+// Gen returns the packet's generation counter. It is bumped every time the
+// packet is returned to its pool, so a component that records (packet, Gen)
+// at borrow time can detect use-after-return: a mismatch means the node was
+// recycled under it.
+func (p *Packet) Gen() uint32 { return p.gen }
+
+// Pooled reports whether the packet currently sits in its pool's freelist
+// (i.e. it has been returned and must not be used).
+func (p *Packet) Pooled() bool { return p.pooled }
+
+// AttachTrace enables path tracing on the packet, reusing the node's
+// retained trace storage when it has been traced before.
+func (p *Packet) AttachTrace() {
+	if p.traceBuf != nil {
+		p.Trace = p.traceBuf[:0]
+		return
+	}
+	p.Trace = make([]TraceHop, 0, 16)
 }
 
 // Size returns the wire size of the packet in bytes.
@@ -125,10 +156,16 @@ func (p *Packet) String() string {
 		p.Kind, p.Flow, p.Src, p.Dst, p.Seq, p.PayloadBytes, p.TTL, p.CE, p.Detours)
 }
 
-// Clone returns a deep copy of the packet (trace excluded). Used by tests
-// and by retransmission paths that must not alias the original.
+// Clone returns a deep copy of the packet (trace excluded). The copy is
+// not pool-managed — it carries no pool bookkeeping, so freeing it is a
+// no-op and it cannot shadow the original in leak accounting. Used by
+// tests and by retransmission paths that must not alias the original.
 func (p *Packet) Clone() *Packet {
 	q := *p
 	q.Trace = nil
+	q.pool = nil
+	q.gen = 0
+	q.pooled = false
+	q.traceBuf = nil
 	return &q
 }

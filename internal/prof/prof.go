@@ -1,0 +1,47 @@
+// Package prof wires runtime/pprof behind the -cpuprofile and -memprofile
+// flags shared by the command-line tools (DESIGN §9). Profiles are written
+// in the standard pprof format: `go tool pprof <binary> <file>`.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling per the given file paths (empty disables each) and
+// returns a stop function to defer in main. The CPU profile streams for the
+// whole run; the heap profile is one snapshot taken at stop after a forced
+// GC, so it shows live retained memory rather than transient garbage.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("creating cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("starting cpu profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "creating mem profile: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "writing mem profile: %v\n", err)
+			}
+			f.Close()
+		}
+	}, nil
+}

@@ -46,7 +46,11 @@ type Queue interface {
 	Bytes() int
 }
 
-// fifo is a growable ring buffer of packets shared by the FIFO disciplines.
+// fifo is a growable power-of-two ring buffer of packets shared by the
+// FIFO disciplines. The buffer never shrinks mid-run — capacity reached
+// during a burst is retained, so a queue oscillating around its high-water
+// mark allocates nothing — and the power-of-two size turns the index
+// modulo into a mask.
 type fifo struct {
 	buf   []*packet.Packet
 	head  int
@@ -58,7 +62,7 @@ func (f *fifo) push(p *packet.Packet) {
 	if f.n == len(f.buf) {
 		f.grow()
 	}
-	f.buf[(f.head+f.n)%len(f.buf)] = p
+	f.buf[(f.head+f.n)&(len(f.buf)-1)] = p
 	f.n++
 	f.bytes += p.Size()
 }
@@ -69,7 +73,7 @@ func (f *fifo) pop() *packet.Packet {
 	}
 	p := f.buf[f.head]
 	f.buf[f.head] = nil
-	f.head = (f.head + 1) % len(f.buf)
+	f.head = (f.head + 1) & (len(f.buf) - 1)
 	f.n--
 	f.bytes -= p.Size()
 	return p
@@ -82,7 +86,7 @@ func (f *fifo) grow() {
 	}
 	nb := make([]*packet.Packet, size)
 	for i := 0; i < f.n; i++ {
-		nb[i] = f.buf[(f.head+i)%len(f.buf)]
+		nb[i] = f.buf[(f.head+i)&(len(f.buf)-1)]
 	}
 	f.buf = nb
 	f.head = 0
@@ -274,12 +278,18 @@ type PFabric struct {
 	bytes    int
 }
 
-// NewPFabric returns a pFabric queue with the given packet capacity.
+// NewPFabric returns a pFabric queue with the given packet capacity. The
+// packet and sequence arrays are allocated to capacity up front (capacity
+// is tiny — 24 in the paper) so the queue never allocates mid-run.
 func NewPFabric(capacity int) *PFabric {
 	if capacity < 1 {
 		panic("queue: PFabric capacity must be >= 1")
 	}
-	return &PFabric{capacity: capacity}
+	return &PFabric{
+		capacity: capacity,
+		pkts:     make([]*packet.Packet, 0, capacity),
+		seqs:     make([]uint64, 0, capacity),
+	}
 }
 
 // Enqueue implements Queue. When full, the lowest-priority (highest

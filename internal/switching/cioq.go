@@ -75,6 +75,9 @@ type CIOQSwitch struct {
 	ingressUsed []int
 	rr          []int  // per-output round-robin input pointer
 	active      []bool // per-output transfer loop running
+	// transferFns caches one self-rescheduling closure per output so the
+	// crossbar loop does not allocate a fresh closure per packet.
+	transferFns []func()
 
 	policy      core.Policy
 	MarkDetours bool
@@ -118,6 +121,11 @@ func NewCIOQSwitch(id packet.NodeID, topo *topology.Topology, sched *eventq.Sche
 	}
 	for i := range s.voqs {
 		s.voqs[i] = make([]voq, n)
+	}
+	s.transferFns = make([]func(), n)
+	for out := range s.transferFns {
+		out := out
+		s.transferFns[out] = func() { s.transfer(out) }
 	}
 	return s
 }
@@ -214,7 +222,7 @@ func (s *CIOQSwitch) transfer(out int) {
 		return
 	}
 	if s.ports[out].Q.Full() {
-		s.sched.After(s.cellTime(packet.DefaultMTU), func() { s.transfer(out) })
+		s.sched.After(s.cellTime(packet.DefaultMTU), s.transferFns[out])
 		return
 	}
 	p := s.voqs[in][out].pop()
@@ -229,7 +237,7 @@ func (s *CIOQSwitch) transfer(out int) {
 	if p.Trace != nil {
 		p.Trace = append(p.Trace, packet.TraceHop{Node: s.ID, Port: out, Detoured: false})
 	}
-	s.sched.After(s.cellTime(p.Size()), func() { s.transfer(out) })
+	s.sched.After(s.cellTime(p.Size()), s.transferFns[out])
 }
 
 // pickInput round-robins over inputs with a waiting packet for out.
@@ -258,6 +266,7 @@ func (s *CIOQSwitch) drop(p *packet.Packet, reason DropReason) {
 	if s.hooks != nil && s.hooks.OnDrop != nil {
 		s.hooks.OnDrop(s.ID, p, reason)
 	}
+	packet.Free(p)
 }
 
 // TotalDrops sums drops across reasons.

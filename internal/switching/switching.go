@@ -102,6 +102,16 @@ type OutPort struct {
 	// paused stops the transmitter from starting new packets (Ethernet
 	// flow control); the in-flight serialization always completes.
 	paused bool
+
+	// current is the packet occupying the transmitter; inflight holds the
+	// packets on the wire (serialized, not yet delivered). Keeping them as
+	// port state lets the transmitter reuse the two callbacks below instead
+	// of closing over each packet. serDone/deliver are bound once at
+	// construction; per-packet closures were the hot path's top allocator.
+	current  *packet.Packet
+	inflight pktRing
+	serDone  func()
+	deliver  func()
 	// OnEnqueue, when set, observes every accepted packet after it is
 	// queued but before the transmitter may pick it up; OnDequeue
 	// observes every packet leaving the queue for the wire. Ethernet
@@ -127,7 +137,10 @@ func NewOutPort(sched *eventq.Scheduler, q queue.Queue, rateBps int64, delay eve
 	if rateBps <= 0 {
 		panic("switching: rate must be positive")
 	}
-	return &OutPort{sched: sched, Q: q, rateBps: rateBps, delay: delay, peer: peer, peerPort: peerPort}
+	o := &OutPort{sched: sched, Q: q, rateBps: rateBps, delay: delay, peer: peer, peerPort: peerPort}
+	o.serDone = o.onSerDone
+	o.deliver = o.onDeliver
+	return o
 }
 
 // SetPeer rewires the port's receiving end (used during network assembly).
@@ -194,25 +207,82 @@ func (o *OutPort) kick() {
 		o.OnDequeue(p)
 	}
 	o.busy = true
+	o.current = p
 	ser := o.SerializationTime(p.Size())
 	o.BusyTime += ser
-	o.sched.After(ser, func() {
-		o.busy = false
-		o.TxPackets++
-		o.TxBytes += uint64(p.Size())
-		at := o.sched.Now() + o.delay
-		if o.jitterMax > 0 {
-			at += eventq.Time(o.jitter.Int63n(int64(o.jitterMax)))
+	o.sched.After(ser, o.serDone)
+}
+
+// onSerDone fires when the current packet's last bit leaves the
+// transmitter: put it on the wire and start the next one.
+func (o *OutPort) onSerDone() {
+	p := o.current
+	o.current = nil
+	o.busy = false
+	o.TxPackets++
+	o.TxBytes += uint64(p.Size())
+	at := o.sched.Now() + o.delay
+	if o.jitterMax > 0 {
+		at += eventq.Time(o.jitter.Int63n(int64(o.jitterMax)))
+	}
+	if at < o.lastArrival {
+		at = o.lastArrival // keep the link FIFO under jitter
+	}
+	o.lastArrival = at
+	// Deliveries are scheduled in nondecreasing time (the FIFO clamp above)
+	// and the scheduler breaks ties in insertion order, so the wire ring
+	// pops in push order and onDeliver always dequeues the right packet.
+	o.inflight.push(p)
+	o.sched.At(at, o.deliver)
+	o.kick()
+}
+
+// onDeliver fires when the oldest in-flight packet reaches the peer.
+func (o *OutPort) onDeliver() {
+	p := o.inflight.pop()
+	o.peer.Receive(p, o.peerPort)
+}
+
+// InFlight counts packets serialized but not yet delivered, plus the one
+// occupying the transmitter (for conservation checks).
+func (o *OutPort) InFlight() int {
+	n := o.inflight.n
+	if o.current != nil {
+		n++
+	}
+	return n
+}
+
+// pktRing is a never-shrinking power-of-two FIFO ring holding the packets
+// in flight on a link.
+type pktRing struct {
+	buf  []*packet.Packet
+	head int
+	n    int
+}
+
+func (r *pktRing) push(p *packet.Packet) {
+	if r.n == len(r.buf) {
+		grown := make([]*packet.Packet, max(4, 2*len(r.buf)))
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
 		}
-		if at < o.lastArrival {
-			at = o.lastArrival // keep the link FIFO under jitter
-		}
-		o.lastArrival = at
-		o.sched.At(at, func() {
-			o.peer.Receive(p, o.peerPort)
-		})
-		o.kick()
-	})
+		r.buf = grown
+		r.head = 0
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = p
+	r.n++
+}
+
+func (r *pktRing) pop() *packet.Packet {
+	if r.n == 0 {
+		return nil
+	}
+	p := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return p
 }
 
 // Switch is an output-queued switch.
@@ -382,6 +452,7 @@ func (s *Switch) drop(p *packet.Packet, reason DropReason) {
 	if s.hooks != nil && s.hooks.OnDrop != nil {
 		s.hooks.OnDrop(s.ID, p, reason)
 	}
+	packet.Free(p)
 }
 
 // TotalDrops sums drops across reasons.

@@ -82,7 +82,10 @@ type Topology struct {
 
 	hosts    []packet.NodeID // all host node IDs, in construction order
 	switches []packet.NodeID
-	hostIdx  map[packet.NodeID]int // host NodeID -> dense index
+	// hostIdx maps NodeID -> dense host index (-1 for switches). NodeIDs
+	// are dense, so a flat slice replaces the former map: NextHops is on
+	// the per-hop hot path and the map lookup dominated its cost.
+	hostIdx []int32
 
 	hostPortMask []uint64 // per node: bitmap of ports that face a host
 
@@ -125,11 +128,14 @@ func (b *builder) finalize() *Topology {
 		Name:    b.name,
 		nodes:   b.nodes,
 		ports:   b.ports,
-		hostIdx: make(map[packet.NodeID]int),
+		hostIdx: make([]int32, len(b.nodes)),
+	}
+	for i := range t.hostIdx {
+		t.hostIdx[i] = -1
 	}
 	for _, n := range b.nodes {
 		if n.Kind == Host {
-			t.hostIdx[n.ID] = len(t.hosts)
+			t.hostIdx[n.ID] = int32(len(t.hosts))
 			t.hosts = append(t.hosts, n.ID)
 		} else {
 			t.switches = append(t.switches, n.ID)
@@ -224,11 +230,11 @@ func (t *Topology) Ports(id packet.NodeID) []Port { return t.ports[id] }
 
 // HostIndex returns the dense index of a host node, used as the FIB key.
 func (t *Topology) HostIndex(id packet.NodeID) int {
-	hi, ok := t.hostIdx[id]
-	if !ok {
+	hi := t.hostIdx[id]
+	if hi < 0 {
 		panic(fmt.Sprintf("topology: node %d is not a host", id))
 	}
-	return hi
+	return int(hi)
 }
 
 // NextHops returns the ECMP set of output ports at node leading along
@@ -432,12 +438,23 @@ func jellyfishOnce(nSwitches, switchDegree, hostsPer int, spec LinkSpec, seed in
 	}
 
 	// Random matching over port stubs, retrying to avoid self-loops and
-	// parallel edges; falls back to edge swaps when stuck.
-	adj := make([]map[int]bool, nSwitches)
-	deg := make([]int, nSwitches)
-	for i := range adj {
-		adj[i] = make(map[int]bool)
+	// parallel edges; falls back to edge swaps when stuck. Adjacency is a
+	// flat bitset over switch pairs (membership checks only, never
+	// iterated, so determinism is unaffected).
+	adj := make([]uint64, (nSwitches*nSwitches+63)/64)
+	adjHas := func(a, b int) bool {
+		i := a*nSwitches + b
+		return adj[i>>6]&(1<<uint(i&63)) != 0
 	}
+	adjSet := func(a, b int) {
+		i := a*nSwitches + b
+		adj[i>>6] |= 1 << uint(i&63)
+	}
+	adjClear := func(a, b int) {
+		i := a*nSwitches + b
+		adj[i>>6] &^= 1 << uint(i&63)
+	}
+	deg := make([]int, nSwitches)
 	type edge struct{ a, b int }
 	var edges []edge
 	stubs := make([]int, 0, nSwitches*switchDegree)
@@ -448,8 +465,8 @@ func jellyfishOnce(nSwitches, switchDegree, hostsPer int, spec LinkSpec, seed in
 	}
 	rnd.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
 	connect := func(a, bb int) {
-		adj[a][bb] = true
-		adj[bb][a] = true
+		adjSet(a, bb)
+		adjSet(bb, a)
 		deg[a]++
 		deg[bb]++
 		edges = append(edges, edge{a, bb})
@@ -459,7 +476,7 @@ func jellyfishOnce(nSwitches, switchDegree, hostsPer int, spec LinkSpec, seed in
 		a := stubs[len(stubs)-1]
 		bb := stubs[len(stubs)-2]
 		stubs = stubs[:len(stubs)-2]
-		if a == bb || adj[a][bb] {
+		if a == bb || adjHas(a, bb) {
 			leftover = append(leftover, a, bb)
 			continue
 		}
@@ -473,9 +490,9 @@ func jellyfishOnce(nSwitches, switchDegree, hostsPer int, spec LinkSpec, seed in
 			ei := rnd.Intn(len(edges))
 			e := edges[ei]
 			// Replace (e.a,e.b) with (a,e.a) and (bb,e.b) if valid.
-			if a != e.a && bb != e.b && !adj[a][e.a] && !adj[bb][e.b] && a != bb {
-				delete(adj[e.a], e.b)
-				delete(adj[e.b], e.a)
+			if a != e.a && bb != e.b && !adjHas(a, e.a) && !adjHas(bb, e.b) && a != bb {
+				adjClear(e.a, e.b)
+				adjClear(e.b, e.a)
 				deg[e.a]--
 				deg[e.b]--
 				edges[ei] = edges[len(edges)-1]

@@ -31,6 +31,11 @@ type Env struct {
 	Sched *eventq.Scheduler
 	// Emit hands a packet to the host NIC for transmission.
 	Emit func(p *packet.Packet)
+	// Pool supplies the packet nodes for emitted segments and ACKs; the
+	// network gives every endpoint the per-run pool. When nil (unit tests
+	// that build an Env by hand), the constructor creates a private pool so
+	// emission behaves identically.
+	Pool *packet.Pool
 }
 
 // Variant selects the congestion-control behavior.
@@ -159,6 +164,9 @@ type Sender struct {
 	hasRTT       bool
 	rto          eventq.Time
 	rtoTimer     eventq.Timer
+	// rtoFn is the onRTO method value, bound once so re-arming the timer
+	// does not allocate per call.
+	rtoFn func()
 
 	// DCTCP state.
 	alpha       float64
@@ -186,7 +194,10 @@ func NewSender(env Env, cfg Config, flow packet.FlowID, src, dst packet.NodeID, 
 	if total <= 0 {
 		panic("transport: flow size must be positive")
 	}
-	return &Sender{
+	if env.Pool == nil {
+		env.Pool = packet.NewPool()
+	}
+	s := &Sender{
 		env:      env,
 		cfg:      cfg,
 		Flow:     flow,
@@ -200,6 +211,8 @@ func NewSender(env Env, cfg Config, flow packet.FlowID, src, dst packet.NodeID, 
 		// first congestion signal gets a conservative halving.
 		alpha: 1,
 	}
+	s.rtoFn = s.onRTO
+	return s
 }
 
 func (c *Config) initialRTO() eventq.Time {
@@ -264,17 +277,16 @@ func (s *Sender) trySend() {
 }
 
 func (s *Sender) emitSegment(seq int64, payload int) {
-	p := &packet.Packet{
-		Kind:         packet.Data,
-		Flow:         s.Flow,
-		Src:          s.Src,
-		Dst:          s.Dst,
-		Seq:          seq,
-		PayloadBytes: payload,
-		TTL:          s.cfg.TTL,
-		SentAt:       int64(s.env.Sched.Now()),
-		Rexmit:       seq < s.maxSent,
-	}
+	p := s.env.Pool.Get()
+	p.Kind = packet.Data
+	p.Flow = s.Flow
+	p.Src = s.Src
+	p.Dst = s.Dst
+	p.Seq = seq
+	p.PayloadBytes = payload
+	p.TTL = s.cfg.TTL
+	p.SentAt = int64(s.env.Sched.Now())
+	p.Rexmit = seq < s.maxSent
 	if s.cfg.Variant == PFabric {
 		// pFabric priority: remaining flow size; lower = more urgent.
 		p.Priority = s.Total - s.sndUna
@@ -295,7 +307,7 @@ func (s *Sender) armRTO(force bool) {
 		}
 		s.rtoTimer.Cancel()
 	}
-	s.rtoTimer = s.env.Sched.After(s.rto, s.onRTO)
+	s.rtoTimer = s.env.Sched.After(s.rto, s.rtoFn)
 }
 
 func (s *Sender) cancelRTO() {
@@ -480,6 +492,7 @@ type Receiver struct {
 	lastSentAt int64
 	lastRexmit bool
 	ackTimer   eventq.Timer
+	flushFn    func() // flushAck method value, bound once (no per-arm alloc)
 	peerSrc    packet.NodeID
 	peerFlow   packet.FlowID
 
@@ -499,7 +512,12 @@ func NewReceiver(env Env, cfg Config, flow packet.FlowID, host packet.NodeID, to
 	if total <= 0 {
 		panic("transport: flow size must be positive")
 	}
-	return &Receiver{env: env, cfg: cfg, Flow: flow, Host: host, Total: total}
+	if env.Pool == nil {
+		env.Pool = packet.NewPool()
+	}
+	r := &Receiver{env: env, cfg: cfg, Flow: flow, Host: host, Total: total}
+	r.flushFn = r.flushAck
+	return r
 }
 
 // Done reports whether every byte has arrived.
@@ -557,7 +575,7 @@ func (r *Receiver) OnData(p *packet.Packet) {
 			if timeout <= 0 {
 				timeout = 500 * eventq.Microsecond
 			}
-			r.ackTimer = r.env.Sched.After(timeout, r.flushAck)
+			r.ackTimer = r.env.Sched.After(timeout, r.flushFn)
 		}
 	}
 
@@ -581,19 +599,19 @@ func (r *Receiver) flushAck() {
 
 // emitAck sends a cumulative ACK for everything received so far.
 func (r *Receiver) emitAck(echo bool, sentAt int64, rexmit bool, dst packet.NodeID, flow packet.FlowID) {
-	r.env.Emit(&packet.Packet{
-		Kind:    packet.Ack,
-		Flow:    flow,
-		Src:     r.Host,
-		Dst:     dst,
-		Seq:     r.rcvNxt,
-		TTL:     r.cfg.TTL,
-		ECNEcho: echo,
-		SentAt:  sentAt,
-		Rexmit:  rexmit,
-		// ACKs carry top priority in pFabric so they are never starved.
-		Priority: 0,
-	})
+	p := r.env.Pool.Get()
+	p.Kind = packet.Ack
+	p.Flow = flow
+	p.Src = r.Host
+	p.Dst = dst
+	p.Seq = r.rcvNxt
+	p.TTL = r.cfg.TTL
+	p.ECNEcho = echo
+	p.SentAt = sentAt
+	p.Rexmit = rexmit
+	// ACKs carry top priority in pFabric so they are never starved;
+	// Priority is already zero on a freshly borrowed packet.
+	r.env.Emit(p)
 	r.AcksSent++
 }
 
