@@ -37,12 +37,22 @@ func TestSendForwardsToNIC(t *testing.T) {
 func TestNICDropCounting(t *testing.T) {
 	sched := eventq.NewScheduler()
 	h, _ := newHost(sched, 1)
+	// Refused packets hit a terminal path (Free), so they must be pooled:
+	// StrictFree turns a literal here into a panic.
+	pl := packet.NewPool()
 	for i := 0; i < 5; i++ {
-		h.Send(&packet.Packet{Kind: packet.Data, Flow: 1, PayloadBytes: 1460})
+		p := pl.Get()
+		p.Kind = packet.Data
+		p.Flow = 1
+		p.PayloadBytes = 1460
+		h.Send(p)
 	}
 	// 1 transmitting + 1 queued = 2 accepted, 3 dropped.
 	if h.NICDrops != 3 {
 		t.Fatalf("NIC drops = %d, want 3", h.NICDrops)
+	}
+	if pl.Returned() != 3 {
+		t.Fatalf("dropped packets returned to pool = %d, want 3", pl.Returned())
 	}
 	sched.Run()
 }
@@ -74,6 +84,17 @@ func TestReceiveDemux(t *testing.T) {
 	sched := eventq.NewScheduler()
 	h, _ := newHost(sched, 100)
 	cfg := transport.DefaultConfig(transport.DCTCP)
+	// Delivery is a terminal path (Host.Receive frees), so every injected
+	// packet must come from a pool under StrictFree.
+	pl := packet.NewPool()
+	inject := func(kind packet.Kind, flow packet.FlowID, seq int64, payload int) *packet.Packet {
+		p := pl.Get()
+		p.Kind = kind
+		p.Flow = flow
+		p.Seq = seq
+		p.PayloadBytes = payload
+		return p
+	}
 
 	var acksSeen []*packet.Packet
 	env := transport.Env{Sched: sched, Emit: func(p *packet.Packet) { acksSeen = append(acksSeen, p) }}
@@ -84,7 +105,7 @@ func TestReceiveDemux(t *testing.T) {
 	h.OnDeliver = func(p *packet.Packet) { delivered++ }
 
 	// Data for the registered flow reaches the receiver (which ACKs).
-	h.Receive(&packet.Packet{Kind: packet.Data, Flow: 7, Seq: 0, PayloadBytes: 1460}, 0)
+	h.Receive(inject(packet.Data, 7, 0, 1460), 0)
 	if len(acksSeen) != 1 {
 		t.Fatal("receiver did not process data")
 	}
@@ -92,7 +113,7 @@ func TestReceiveDemux(t *testing.T) {
 		t.Fatal("receiver should be complete")
 	}
 	// Data for an unknown flow is observed but harmless.
-	h.Receive(&packet.Packet{Kind: packet.Data, Flow: 99, Seq: 0, PayloadBytes: 10}, 0)
+	h.Receive(inject(packet.Data, 99, 0, 10), 0)
 	if delivered != 2 {
 		t.Fatalf("OnDeliver saw %d packets, want 2", delivered)
 	}
@@ -102,7 +123,7 @@ func TestReceiveDemux(t *testing.T) {
 	snd := transport.NewSender(sndEnv, cfg, 8, 5, 6, 1460)
 	snd.Start()
 	h.AddSender(snd)
-	h.Receive(&packet.Packet{Kind: packet.Ack, Flow: 8, Seq: 1460}, 0)
+	h.Receive(inject(packet.Ack, 8, 1460, 0), 0)
 	if !snd.Done() {
 		t.Fatal("sender did not process ACK")
 	}

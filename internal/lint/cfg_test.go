@@ -303,3 +303,126 @@ func TestCFGReturnLinksToExit(t *testing.T) {
 		}
 	}
 }
+
+// The pooled-packet idiom the ownership rules lean on: a defer inside a
+// loop body is recorded once per syntactic site, and its block sits on the
+// loop's cycle (it runs once per function exit, not per iteration, but the
+// CFG must still place the statement inside the loop).
+func TestCFGDeferFreeInLoop(t *testing.T) {
+	g := cfgFor(t, `
+	for it() {
+		p := get()
+		defer packet.Free(p)
+		work(p)
+	}
+	rest()`)
+	if len(g.deferred) != 1 {
+		t.Fatalf("deferred calls: got %d, want 1", len(g.deferred))
+	}
+	if sel, ok := g.deferred[0].Fun.(*ast.SelectorExpr); !ok || sel.Sel.Name != "Free" {
+		t.Errorf("deferred call is %v, want packet.Free", g.deferred[0].Fun)
+	}
+	var deferB *cfgBlock
+	for _, blk := range g.blocks {
+		for _, n := range blk.nodes {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				deferB = blk
+			}
+		}
+	}
+	if deferB == nil {
+		t.Fatal("defer statement not placed in any block")
+	}
+	if !canReach(deferB, deferB) {
+		t.Error("defer in a loop body must sit on the loop's cycle")
+	}
+	if !canReach(deferB, blockCalling(t, g, "rest")) {
+		t.Error("loop body must reach the statement after the loop")
+	}
+}
+
+// A labeled continue from inside a select must jump to the enclosing
+// loop's post/condition, not to the statement after the select.
+func TestCFGLabeledContinueOutOfSelect(t *testing.T) {
+	g := cfgFor(t, `
+recv:
+	for it() {
+		select {
+		case <-ch():
+			work()
+			continue recv
+		default:
+			dflt()
+		}
+		after()
+	}
+	rest()`)
+	workB := blockCalling(t, g, "work")
+	dfltB := blockCalling(t, g, "dflt")
+	afterB := blockCalling(t, g, "after")
+	itB := blockCalling(t, g, "it")
+	for _, s := range workB.succs {
+		if s == afterB {
+			t.Error("continue recv must not fall through to the statement after select")
+		}
+	}
+	if !canReach(workB, itB) {
+		t.Error("continue recv must return to the loop condition")
+	}
+	if !canReach(dfltB, afterB) {
+		t.Error("the default clause must fall through to the rest of the body")
+	}
+	if !canReach(workB, blockCalling(t, g, "rest")) {
+		t.Error("the continuing path must still be able to leave the loop")
+	}
+}
+
+// An early return inside a case that is itself a fallthrough target: the
+// fallen-into case must reach exit directly without touching the code
+// after the switch.
+func TestCFGReturnInsideSwitchFallthrough(t *testing.T) {
+	g := cfgFor(t, `
+	switch tag() {
+	case 1:
+		one()
+		fallthrough
+	case 2:
+		if bail() {
+			return
+		}
+		two()
+	default:
+		dflt()
+	}
+	after()`)
+	oneB := blockCalling(t, g, "one")
+	bailB := blockCalling(t, g, "bail")
+	twoB := blockCalling(t, g, "two")
+	afterB := blockCalling(t, g, "after")
+	direct := false
+	for _, s := range oneB.succs {
+		if s == bailB {
+			direct = true
+		}
+	}
+	if !direct {
+		t.Error("fallthrough must land on the fallen-into case's first block")
+	}
+	var retB *cfgBlock
+	for _, blk := range g.blocks {
+		for _, n := range blk.nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				retB = blk
+			}
+		}
+	}
+	if retB == nil {
+		t.Fatal("return statement not placed in any block")
+	}
+	if canReach(retB, afterB) || canReach(retB, twoB) {
+		t.Error("early return inside the case must not reach two() or after()")
+	}
+	if !canReach(oneB, afterB) || !canReach(twoB, afterB) {
+		t.Error("the non-returning paths must reach the code after the switch")
+	}
+}

@@ -38,6 +38,24 @@ type FuncFacts struct {
 	SeedSinkParams     uint64
 	ParamToResult      uint64
 	ParamArithToResult uint64
+
+	// Ownership summary (facts_own.go). Parameter slots follow the
+	// SeedSinkParams convention: for methods the receiver is slot 0 and
+	// argument i maps to slot i+1.
+	//
+	//   ReleasesParams    the parameter can reach packet.Free / Pool.Put
+	//                     (transitively) on some path;
+	//   ConsumesParams    the function takes ownership on some path: the
+	//                     parameter is released, stored into longer-lived
+	//                     state, returned, or handed to another consumer;
+	//   StoresOwnedParams subset of ConsumesParams stored into state;
+	//   ReturnsOwned      some result is an owned resource the caller must
+	//                     discharge (a Pool.Get/Timer birth, a ReturnsOwned
+	//                     callee, or a //dibslint:owns annotation).
+	ReleasesParams    uint64
+	ConsumesParams    uint64
+	StoresOwnedParams uint64
+	ReturnsOwned      bool
 }
 
 // FactsFor returns the computed summary for a function, if its declaring
@@ -312,11 +330,16 @@ func (fe *flowEval) evalSeen(e ast.Expr, seen map[ast.Node]bool) (vf valueFlow) 
 // funcData builds (and caches) the CFG + reaching-definitions solution for
 // one function body.
 func (l *Loader) funcData(info *types.Info, recv *ast.FieldList, ftype *ast.FuncType, body *ast.BlockStmt) *defUse {
+	l.duMu.Lock()
 	if du, ok := l.funcDU[body]; ok {
+		l.duMu.Unlock()
 		return du
 	}
+	l.duMu.Unlock()
 	du := analyzeFunc(info, recv, ftype, body)
+	l.duMu.Lock()
 	l.funcDU[body] = du
+	l.duMu.Unlock()
 	return du
 }
 
@@ -400,6 +423,7 @@ func (l *Loader) factsForDecl(pkg *Package, obj *types.Func, decl *ast.FuncDecl)
 
 	du := l.funcData(info, decl.Recv, decl.Type, decl.Body)
 	fe := &flowEval{l: l, info: info, du: du, enclosing: obj}
+	l.computeOwnFacts(info, obj, du, &facts)
 
 	// Result taint: explicit return values, plus every assignment to a
 	// named result (covers naked returns, over-approximating which return

@@ -1,0 +1,510 @@
+package lint
+
+// facts_own.go computes the interprocedural ownership summaries behind the
+// own-leak / own-doublefree / own-useafterfree rules (rules_own.go). Two
+// resource kinds are tracked:
+//
+//   - *packet.Packet values born at packet.Pool.Get (or returned by a
+//     function whose summary says ReturnsOwned), which must be released
+//     (packet.Free / Pool.Put), handed to a consumer, or stored into
+//     longer-lived state on every path;
+//   - eventq.Timer handles born at Scheduler.At/After when bound to a
+//     local, which must be stored, canceled, or passed on every path.
+//     A bare s.After(d, fn) expression statement is the sanctioned
+//     fire-and-forget idiom and is not tracked.
+//
+// Per-function summaries (FuncFacts.ReleasesParams / ConsumesParams /
+// StoresOwnedParams / ReturnsOwned) are computed in the same
+// computeFacts fixpoint as the determinism facts, so helpers like
+// (*Switch).drop — whose body ends in packet.Free(p) — release their
+// argument from every caller's point of view.
+//
+// Intentional long-lived transfers that the summaries cannot derive (an
+// interface method whose implementations store the packet, a func-typed
+// hand-off field) carry an explicit annotation:
+//
+//	//dibslint:owns reason...
+//
+// on the declaration. The annotation means: resource-typed parameters are
+// consumed by the callee, and resource-typed results are owned by the
+// caller. A consumer whose results include queue.Result is a *conditional*
+// consumer (Enqueue may refuse; the caller keeps ownership on refusal), so
+// its call sites discharge leak paths without becoming double-free origins.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// ownEvent classifies what one CFG node does to a tracked resource value.
+type ownEvent int
+
+const (
+	evUse          ownEvent = iota // read, field access, borrowed call argument
+	evMaybe                        // conditional hand-off (callee returns queue.Result)
+	evTransfer                     // unconditional hand-off: consuming callee or return
+	evStore                        // stored into longer-lived state (a transfer)
+	evDeferRelease                 // defer packet.Free(p) / defer Pool.Put(p)
+	evRelease                      // released: packet.Free / Pool.Put, transitively
+)
+
+// ownEffect is the ownership effect a call has on one argument position.
+type ownEffect int
+
+const (
+	effNone ownEffect = iota
+	effMaybe
+	effTransfer
+	effRelease
+)
+
+// resourceKind classifies a type as a tracked resource: "packet" for
+// *packet.Packet, "timer" for eventq.Timer, "" otherwise.
+func resourceKind(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok && isPacketType(p.Elem()) {
+		return "packet"
+	}
+	if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil &&
+		named.Obj().Name() == "Timer" &&
+		strings.HasSuffix(named.Obj().Pkg().Path(), "internal/eventq") {
+		return "timer"
+	}
+	return ""
+}
+
+// methodOn reports whether fn is a method declared on typeName in a package
+// whose import path ends with pkgSuffix.
+func methodOn(fn *types.Func, typeName, pkgSuffix string) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == typeName &&
+		strings.HasSuffix(named.Obj().Pkg().Path(), pkgSuffix)
+}
+
+// isPacketFree matches the package-level packet.Free release point.
+func isPacketFree(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Name() != "Free" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return false
+	}
+	return strings.HasSuffix(fn.Pkg().Path(), "internal/packet")
+}
+
+// isPoolPut / isPoolGet match the packet.Pool release and birth points.
+func isPoolPut(fn *types.Func) bool {
+	return fn != nil && fn.Name() == "Put" && methodOn(fn, "Pool", "internal/packet")
+}
+
+func isPoolGet(fn *types.Func) bool {
+	return fn != nil && fn.Name() == "Get" && methodOn(fn, "Pool", "internal/packet")
+}
+
+// isTimerBirth matches Scheduler.At/After, whose Timer result is an owned
+// handle when bound.
+func isTimerBirth(fn *types.Func) bool {
+	return fn != nil && (fn.Name() == "At" || fn.Name() == "After") &&
+		methodOn(fn, "Scheduler", "internal/eventq")
+}
+
+// isTimerCancel matches Timer.Cancel, which discharges a held handle.
+func isTimerCancel(fn *types.Func) bool {
+	return fn != nil && fn.Name() == "Cancel" && methodOn(fn, "Timer", "internal/eventq")
+}
+
+// calleeObject resolves the object a call invokes — a function, a method
+// (including interface methods), or a func-typed variable/field — so
+// //dibslint:owns annotations on any of them are honored. Built-ins and
+// computed function expressions resolve to nil.
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// sigOf extracts the signature of a callable object (function or
+// func-typed variable/field).
+func sigOf(obj types.Object) *types.Signature {
+	if obj == nil {
+		return nil
+	}
+	if sig, ok := obj.Type().(*types.Signature); ok {
+		return sig
+	}
+	if sig, ok := obj.Type().Underlying().(*types.Signature); ok {
+		return sig
+	}
+	return nil
+}
+
+// sigReturnsResult reports whether a signature's results include
+// queue.Result — the marker of a conditional consumer (Enqueue may refuse,
+// in which case the caller keeps ownership).
+func sigReturnsResult(l *Loader, sig *types.Signature) bool {
+	if sig == nil {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if checkedResultKind(l, res.At(i).Type()) == "queue.Result" {
+			return true
+		}
+	}
+	return false
+}
+
+// callOwnEffects classifies the ownership effect of a call on each argument
+// position and on the method receiver. Unknown callees have no effect
+// (arguments stay borrowed), which is the conservative default for every
+// rule built on these facts.
+func (l *Loader) callOwnEffects(info *types.Info, call *ast.CallExpr) (args []ownEffect, recv ownEffect) {
+	args = make([]ownEffect, len(call.Args))
+	obj := calleeObject(info, call)
+	if b, ok := obj.(*types.Builtin); ok {
+		// append(s, p) stores its elements into the slice: a transfer.
+		if b.Name() == "append" {
+			for i := 1; i < len(args); i++ {
+				args[i] = effTransfer
+			}
+		}
+		return args, effNone
+	}
+	if obj == nil {
+		return args, effNone
+	}
+	fn, _ := obj.(*types.Func)
+	sig := sigOf(obj)
+	if fn != nil {
+		if isPacketFree(fn) || isPoolPut(fn) {
+			if len(args) > 0 {
+				args[0] = effRelease
+			}
+			return args, effNone
+		}
+		if isTimerCancel(fn) {
+			return args, effRelease
+		}
+	}
+	maybe := sigReturnsResult(l, sig)
+	consume := func(e ownEffect) ownEffect {
+		if maybe && e == effTransfer {
+			return effMaybe
+		}
+		return e
+	}
+	shift := 0
+	if sig != nil && sig.Recv() != nil {
+		shift = 1
+	}
+	if l.moduleFunc(fn) {
+		if facts, ok := l.facts[fn]; ok {
+			if shift == 1 {
+				if facts.ReleasesParams&1 != 0 {
+					recv = effRelease
+				} else if facts.ConsumesParams&1 != 0 {
+					recv = consume(effTransfer)
+				}
+			}
+			for i := range args {
+				bit := uint64(1) << uint(i+shift)
+				if facts.ReleasesParams&bit != 0 {
+					args[i] = effRelease
+				} else if facts.ConsumesParams&bit != 0 {
+					args[i] = consume(effTransfer)
+				}
+			}
+		}
+	}
+	if l.owns[obj] && sig != nil {
+		// Annotation semantics: resource-typed parameters are consumed.
+		np := sig.Params().Len()
+		for i := range args {
+			pi := i
+			if pi >= np {
+				pi = np - 1 // variadic tail
+			}
+			if pi >= 0 && resourceKind(sig.Params().At(pi).Type()) != "" && args[i] == effNone {
+				args[i] = consume(effTransfer)
+			}
+		}
+	}
+	return args, recv
+}
+
+// ownedBirth reports the resource kind of a call whose single result the
+// caller owns: Pool.Get, Scheduler.At/After, a module function summarized
+// ReturnsOwned, or an //dibslint:owns-annotated callee. "" otherwise.
+func (l *Loader) ownedBirth(info *types.Info, call *ast.CallExpr) string {
+	tv, ok := info.Types[call]
+	if !ok {
+		return ""
+	}
+	kind := resourceKind(tv.Type)
+	if kind == "" {
+		return ""
+	}
+	obj := calleeObject(info, call)
+	if fn, ok := obj.(*types.Func); ok {
+		if isPoolGet(fn) || isTimerBirth(fn) {
+			return kind
+		}
+		if l.moduleFunc(fn) {
+			if f, ok := l.facts[fn]; ok && f.ReturnsOwned {
+				return kind
+			}
+		}
+	}
+	if obj != nil && l.owns[obj] {
+		return kind
+	}
+	return ""
+}
+
+// ownEvents visits every ownership-relevant event one CFG node performs on
+// a local variable: releases, hand-offs, stores into longer-lived state,
+// returns, and plain borrows (evUse). Identifiers inside nested function
+// literals are not visited (scanShallow treats literals as opaque; the
+// checker excludes captured variables separately).
+func (l *Loader) ownEvents(info *types.Info, du *defUse, n ast.Node, visit func(v *types.Var, ev ownEvent, pos token.Pos)) {
+	seen := make(map[*ast.Ident]bool)
+	emit := func(id *ast.Ident, ev ownEvent) {
+		if id == nil || seen[id] {
+			return
+		}
+		if v := du.localVar(id); v != nil {
+			seen[id] = true
+			visit(v, ev, id.Pos())
+		}
+	}
+	asIdent := func(e ast.Expr) *ast.Ident {
+		id, _ := ast.Unparen(e).(*ast.Ident)
+		return id
+	}
+
+	deferred := false
+	if d, ok := n.(*ast.DeferStmt); ok {
+		deferred = true
+		n = d.Call
+	}
+	mapEv := func(e ownEffect) ownEvent {
+		switch e {
+		case effRelease:
+			if deferred {
+				return evDeferRelease
+			}
+			return evRelease
+		case effTransfer:
+			return evTransfer
+		case effMaybe:
+			return evMaybe
+		}
+		return evUse
+	}
+
+	// Pass 1: call arguments and receivers, with their classified effects.
+	scanShallow(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		args, recv := l.callOwnEffects(info, call)
+		for i, a := range call.Args {
+			if args[i] != effNone {
+				emit(asIdent(a), mapEv(args[i]))
+			}
+		}
+		if recv != effNone {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				emit(asIdent(sel.X), mapEv(recv))
+			}
+		}
+		return true
+	})
+
+	// Pass 2: stores into longer-lived state and returns.
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		if len(s.Lhs) == len(s.Rhs) {
+			for i, rhs := range s.Rhs {
+				id := asIdent(rhs)
+				if id == nil {
+					continue
+				}
+				switch lhs := ast.Unparen(s.Lhs[i]).(type) {
+				case *ast.Ident:
+					// Local rebinds are aliasing, not stores; writes to
+					// package-level variables are stores.
+					if du.localVar(lhs) == nil && lhs.Name != "_" {
+						emit(id, evStore)
+					}
+				case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+					emit(id, evStore)
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			emit(asIdent(e), evTransfer)
+		}
+	case *ast.SendStmt:
+		emit(asIdent(s.Value), evTransfer)
+	}
+
+	// Pass 3: every remaining mention is a borrow.
+	scanShallow(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			emit(id, evUse)
+		}
+		return true
+	})
+}
+
+// computeOwnFacts derives the ownership summary of one declared function.
+// Called from factsForDecl inside the computeFacts fixpoint; every field is
+// monotone, so summaries converge with the other facts.
+func (l *Loader) computeOwnFacts(info *types.Info, obj *types.Func, du *defUse, facts *FuncFacts) {
+	// An //dibslint:owns annotation on the declaration asserts the
+	// summary directly (the body, if any, is still scanned below).
+	if l.owns[obj] {
+		if sig, ok := obj.Type().(*types.Signature); ok {
+			shift := 0
+			if sig.Recv() != nil {
+				shift = 1
+			}
+			for i := 0; i < sig.Params().Len(); i++ {
+				if resourceKind(sig.Params().At(i).Type()) != "" {
+					facts.ConsumesParams |= 1 << uint(i+shift)
+				}
+			}
+			for i := 0; i < sig.Results().Len(); i++ {
+				if resourceKind(sig.Results().At(i).Type()) != "" {
+					facts.ReturnsOwned = true
+				}
+			}
+		}
+	}
+
+	params := make(map[*types.Var]int)
+	for _, d := range du.defs {
+		if d.kind == defParam && resourceKind(d.obj.Type()) != "" {
+			params[d.obj] = d.paramIdx
+		}
+	}
+	for _, blk := range du.g.blocks {
+		for _, n := range blk.nodes {
+			if len(params) > 0 {
+				l.ownEvents(info, du, n, func(v *types.Var, ev ownEvent, _ token.Pos) {
+					slot, ok := params[v]
+					if !ok {
+						return
+					}
+					bit := uint64(1) << uint(slot)
+					switch ev {
+					case evRelease, evDeferRelease:
+						facts.ReleasesParams |= bit
+					case evTransfer, evMaybe:
+						facts.ConsumesParams |= bit
+					case evStore:
+						facts.ConsumesParams |= bit
+						facts.StoresOwnedParams |= bit
+					}
+				})
+			}
+			// ReturnsOwned: a return whose value traces back to a birth.
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok || facts.ReturnsOwned {
+				continue
+			}
+			for _, e := range ret.Results {
+				if tv, ok := info.Types[e]; !ok || resourceKind(tv.Type) == "" {
+					continue
+				}
+				du.eachSource(e, func(src ast.Expr) bool {
+					if call, ok := src.(*ast.CallExpr); ok {
+						if l.ownedBirth(info, call) != "" {
+							facts.ReturnsOwned = true
+						}
+						return false
+					}
+					_, isIdent := src.(*ast.Ident)
+					return isIdent // follow definitions, nothing else
+				})
+			}
+		}
+	}
+}
+
+// ownsRe matches transfer annotations: //dibslint:owns reason...
+// Like ignore directives, the reason is mandatory.
+var ownsRe = regexp.MustCompile(`^//dibslint:owns(\s+(.*))?$`)
+
+// collectOwns records //dibslint:owns annotations on function declarations,
+// interface methods and struct fields, keyed by their types.Object, before
+// facts are computed for the package.
+func (l *Loader) collectOwns(pkg *Package) {
+	marked := func(groups ...*ast.CommentGroup) bool {
+		for _, cg := range groups {
+			if cg == nil {
+				continue
+			}
+			for _, c := range cg.List {
+				if m := ownsRe.FindStringSubmatch(c.Text); m != nil && strings.TrimSpace(m[2]) != "" {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	note := func(names []*ast.Ident) {
+		for _, name := range names {
+			if obj := pkg.Info.Defs[name]; obj != nil {
+				l.owns[obj] = true
+			}
+		}
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				if marked(x.Doc) {
+					note([]*ast.Ident{x.Name})
+				}
+			case *ast.InterfaceType:
+				for _, m := range x.Methods.List {
+					if marked(m.Doc, m.Comment) {
+						note(m.Names)
+					}
+				}
+			case *ast.StructType:
+				for _, fld := range x.Fields.List {
+					if marked(fld.Doc, fld.Comment) {
+						note(fld.Names)
+					}
+				}
+			}
+			return true
+		})
+	}
+}

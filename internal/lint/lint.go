@@ -30,6 +30,9 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"sync"
+
+	"dibs/internal/runner"
 )
 
 // Finding is one rule violation, reported as file:line:col rule-id message.
@@ -96,6 +99,17 @@ var BadIgnoreRule = RuleDoc{
 	InTests:  true,
 }
 
+// StaleIgnoreRule documents the loader-emitted lint-staleignore rule: a
+// well-formed //dibslint:ignore directive that no longer suppresses any
+// finding. Dead directives hide future regressions of the named rule on
+// that line, so they must be deleted when the underlying code is fixed.
+var StaleIgnoreRule = RuleDoc{
+	ID:       "lint-staleignore",
+	Doc:      "a //dibslint:ignore directive suppresses nothing and must be deleted",
+	Severity: SevWarn,
+	InTests:  true,
+}
+
 // Loader parses and type-checks packages of the enclosing module using only
 // the standard library: module-local imports are resolved recursively from
 // source, standard-library imports through go/importer's source importer.
@@ -114,9 +128,16 @@ type Loader struct {
 
 	// facts holds the cross-package function summaries (facts.go),
 	// computed when each package is type-checked; funcDU caches the
-	// CFG + reaching-definitions solution per function body.
+	// CFG + reaching-definitions solution per function body. duMu guards
+	// funcDU: loading is serial, but RunParallel analyzes packages
+	// concurrently and analyzers build function-literal CFGs on demand.
 	facts  map[*types.Func]FuncFacts
 	funcDU map[*ast.BlockStmt]*defUse
+	duMu   sync.Mutex
+
+	// owns records //dibslint:owns transfer annotations (facts_own.go) on
+	// functions, interface methods and func-typed fields.
+	owns map[types.Object]bool
 }
 
 // NewLoader locates the module root by walking up from dir to the nearest
@@ -151,6 +172,7 @@ func NewLoader(dir string) (*Loader, error) {
 		loading:    make(map[string]bool),
 		facts:      make(map[*types.Func]FuncFacts),
 		funcDU:     make(map[*ast.BlockStmt]*defUse),
+		owns:       make(map[types.Object]bool),
 	}, nil
 }
 
@@ -300,6 +322,7 @@ func (l *Loader) checkWith(typePath, dir string, sources map[string]string, imp 
 		return nil, fmt.Errorf("lint: type-checking %s: %w", typePath, err)
 	}
 	pkg := &Package{Path: typePath, Dir: dir, Files: files, Types: tpkg, Info: info, TestOf: testOf}
+	l.collectOwns(pkg)
 	l.computeFacts(pkg)
 	return pkg, nil
 }
@@ -423,24 +446,44 @@ func (l *Loader) RNGPackage(path string) bool {
 // A reason is mandatory; an ignore without one is itself reported.
 var ignoreRe = regexp.MustCompile(`^//dibslint:ignore\s+(\S+)\s*(.*)$`)
 
-// suppressions returns, per file line, the set of rule IDs suppressed on
-// that line (the comment's own line and the line after it, so the directive
-// can trail the offending statement or sit above it). Malformed directives
-// are reported as lint-badignore findings.
-func suppressions(fset *token.FileSet, files []*ast.File, report func(pos token.Pos, rule, msg string)) map[string]map[int]map[string]bool {
-	sup := make(map[string]map[int]map[string]bool) // file -> line -> rules
-	add := func(file string, line int, rule string) {
+// directive is one well-formed //dibslint:ignore comment, tracked so
+// lint-staleignore can report the ones that no longer suppress anything.
+type directive struct {
+	pos  token.Pos
+	rule string
+	used bool
+}
+
+// suppressions scans //dibslint: comments, returning the suppression index
+// (file -> line -> rule -> directive; a directive covers its own line and
+// the line after it, so it can trail the offending statement or sit above
+// it) plus the ordered directive list. Malformed directives — including
+// reason-less ignore and owns forms — are reported as lint-badignore.
+func suppressions(fset *token.FileSet, files []*ast.File, report func(pos token.Pos, rule, msg string)) (map[string]map[int]map[string]*directive, []*directive) {
+	sup := make(map[string]map[int]map[string]*directive)
+	var dirs []*directive
+	add := func(file string, line int, d *directive) {
 		if sup[file] == nil {
-			sup[file] = make(map[int]map[string]bool)
+			sup[file] = make(map[int]map[string]*directive)
 		}
 		if sup[file][line] == nil {
-			sup[file][line] = make(map[string]bool)
+			sup[file][line] = make(map[string]*directive)
 		}
-		sup[file][line][rule] = true
+		sup[file][line][d.rule] = d
 	}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
+				if m := ownsRe.FindStringSubmatch(c.Text); m != nil {
+					// Transfer annotations feed the fact store
+					// (collectOwns); here only the mandatory reason is
+					// enforced.
+					if strings.TrimSpace(m[2]) == "" {
+						report(c.Pos(), "lint-badignore",
+							"owns annotation needs a reason: //dibslint:owns <why the callee keeps the resource>")
+					}
+					continue
+				}
 				m := ignoreRe.FindStringSubmatch(c.Text)
 				if m == nil {
 					if strings.HasPrefix(c.Text, "//dibslint:") {
@@ -454,13 +497,59 @@ func suppressions(fset *token.FileSet, files []*ast.File, report func(pos token.
 						fmt.Sprintf("ignore of %s needs a reason: //dibslint:ignore %s <why>", m[1], m[1]))
 					continue
 				}
+				d := &directive{pos: c.Pos(), rule: m[1]}
+				dirs = append(dirs, d)
 				pos := fset.Position(c.Pos())
-				add(pos.Filename, pos.Line, m[1])
-				add(pos.Filename, pos.Line+1, m[1])
+				add(pos.Filename, pos.Line, d)
+				add(pos.Filename, pos.Line+1, d)
 			}
 		}
 	}
-	return sup
+	return sup, dirs
+}
+
+// runPkg runs all analyzers over one package and applies suppressions, the
+// test-file filter, severity stamping, and stale-directive detection. The
+// per-package slice is unsorted; callers merge and sort.
+func (l *Loader) runPkg(pkg *Package, analyzers []*Analyzer, docs map[string]RuleDoc) []Finding {
+	var raw []Finding
+	report := func(pos token.Pos, rule, msg string) {
+		raw = append(raw, Finding{Pos: l.Fset.Position(pos), Rule: rule, Msg: msg})
+	}
+	sup, dirs := suppressions(l.Fset, pkg.Files, report)
+	for _, a := range analyzers {
+		a.Check(l, pkg, report)
+	}
+	var findings []Finding
+	for _, f := range raw {
+		if rules, ok := sup[f.Pos.Filename][f.Pos.Line]; ok && f.Rule != "lint-badignore" {
+			if d := rules[f.Rule]; d != nil {
+				d.used = true
+				continue
+			}
+		}
+		doc, known := docs[f.Rule]
+		if strings.HasSuffix(f.Pos.Filename, "_test.go") && !doc.InTests {
+			continue
+		}
+		f.Severity = SevError
+		if known && doc.Severity != "" {
+			f.Severity = doc.Severity
+		}
+		findings = append(findings, f)
+	}
+	for _, d := range dirs {
+		if d.used {
+			continue
+		}
+		findings = append(findings, Finding{
+			Pos:      l.Fset.Position(d.pos),
+			Rule:     StaleIgnoreRule.ID,
+			Msg:      fmt.Sprintf("//dibslint:ignore %s suppresses nothing; delete the directive", d.rule),
+			Severity: StaleIgnoreRule.Severity,
+		})
+	}
+	return findings
 }
 
 // Run executes all analyzers over the given packages and returns findings
@@ -468,36 +557,27 @@ func suppressions(fset *token.FileSet, files []*ast.File, report func(pos token.
 // Findings inside _test.go files are kept only for rules marked InTests;
 // severities are stamped from the rule docs.
 func (l *Loader) Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
-	docs := map[string]RuleDoc{BadIgnoreRule.ID: BadIgnoreRule}
+	return l.RunParallel(pkgs, analyzers, 1)
+}
+
+// RunParallel is Run with package analysis fanned out over workers via
+// internal/runner.Map. Results are merged in package-index order and fully
+// sorted (position, rule, then message), so the output is byte-identical
+// for every worker count. Loading stays serial — the type-checker is not
+// concurrency-safe — but analysis dominates on warm caches.
+func (l *Loader) RunParallel(pkgs []*Package, analyzers []*Analyzer, workers int) []Finding {
+	docs := map[string]RuleDoc{BadIgnoreRule.ID: BadIgnoreRule, StaleIgnoreRule.ID: StaleIgnoreRule}
 	for _, a := range analyzers {
 		for _, d := range a.Rules {
 			docs[d.ID] = d
 		}
 	}
+	perPkg := runner.Map(workers, len(pkgs), func(i int) []Finding {
+		return l.runPkg(pkgs[i], analyzers, docs)
+	})
 	var findings []Finding
-	for _, pkg := range pkgs {
-		var raw []Finding
-		report := func(pos token.Pos, rule, msg string) {
-			raw = append(raw, Finding{Pos: l.Fset.Position(pos), Rule: rule, Msg: msg})
-		}
-		sup := suppressions(l.Fset, pkg.Files, report)
-		for _, a := range analyzers {
-			a.Check(l, pkg, report)
-		}
-		for _, f := range raw {
-			if rules, ok := sup[f.Pos.Filename][f.Pos.Line]; ok && rules[f.Rule] && f.Rule != "lint-badignore" {
-				continue
-			}
-			doc, known := docs[f.Rule]
-			if strings.HasSuffix(f.Pos.Filename, "_test.go") && !doc.InTests {
-				continue
-			}
-			f.Severity = SevError
-			if known && doc.Severity != "" {
-				f.Severity = doc.Severity
-			}
-			findings = append(findings, f)
-		}
+	for _, fs := range perPkg {
+		findings = append(findings, fs...)
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
@@ -510,7 +590,10 @@ func (l *Loader) Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
 	})
 	return findings
 }

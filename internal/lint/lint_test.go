@@ -296,6 +296,27 @@ func Roll() int {
 }
 `)
 	assertRule(t, fs, "nondet-globalrand", 1)
+	// A directive naming the wrong rule suppresses nothing, so it is also
+	// reported as stale.
+	assertRule(t, fs, "lint-staleignore", 1)
+}
+
+func TestStaleIgnoreReported(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixstale", "fixstale.go", `
+package fixstale
+
+import "math/rand"
+
+func Roll() int {
+	//dibslint:ignore nondet-globalrand fixture exercises the suppression
+	n := rand.Intn(6)
+	//dibslint:ignore nondet-globalrand nothing on the next line trips this
+	return n
+}
+`)
+	// The first directive is live; the second suppresses nothing.
+	assertRule(t, fs, "nondet-globalrand", 0)
+	assertRule(t, fs, "lint-staleignore", 1)
 }
 
 func TestAllRulesDocumented(t *testing.T) {

@@ -22,12 +22,13 @@ func Analyzers() []*Analyzer {
 		VtimeFlow(),
 		PathDroppedErr(),
 		HotPathAlloc(),
+		OwnershipAnalysis(),
 	}
 }
 
 // AllRules returns every rule's documentation, for `dibslint -rules`.
 func AllRules() []RuleDoc {
-	docs := []RuleDoc{BadIgnoreRule}
+	docs := []RuleDoc{BadIgnoreRule, StaleIgnoreRule}
 	for _, a := range Analyzers() {
 		docs = append(docs, a.Rules...)
 	}

@@ -1,0 +1,452 @@
+package lint
+
+// rules_own.go is the path-sensitive ownership checker built on the
+// summaries of facts_own.go. For every function body it tracks:
+//
+//   - packet parameters (borrowed from the caller), and
+//   - locals bound to an owned birth (Pool.Get, Scheduler.At/After, or a
+//     ReturnsOwned / //dibslint:owns callee),
+//
+// and walks every CFG path from the birth looking for three defects:
+//
+//   own-leak          the resource reaches function exit undischarged on
+//                     some path. For borrowed parameters the rule arms only
+//                     when the function releases the parameter on *some*
+//                     path (release-on-all-or-none; a pure borrower is
+//                     fine). For owned locals every path must discharge:
+//                     release, hand-off, store, or return. A Pool.Get
+//                     result that is discarded outright is also a leak.
+//   own-doublefree    a second release is reachable after a release,
+//                     deferred release, or hand-off of the same packet.
+//   own-useafterfree  the packet is used (field access, method call,
+//                     hand-off) after a release point on some path.
+//
+// Precision notes: paths through a `v == nil` / `v != nil` check follow
+// only the non-nil branch (a released or owned pointer is never nil, and a
+// nil Dequeue result carries no resource); panic/os.Exit closes a path;
+// rebinding v ends tracking of the old value; address-taken or
+// closure-captured variables are skipped entirely. Timer handles get the
+// leak rule only — Cancel is idempotent by design, so double-cancel and
+// cancel-after-cancel are not defects.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// OwnershipAnalysis checks the packet-pool and timer-handle discipline on
+// every CFG path, using the interprocedural summaries from the fact store.
+func OwnershipAnalysis() *Analyzer {
+	return &Analyzer{
+		Rules: []RuleDoc{
+			{ID: "own-leak", Doc: "a pool packet or timer handle reaches function exit undischarged on some path; release it, hand it off, or store it on every path", Severity: SevError},
+			{ID: "own-doublefree", Doc: "a packet can be released twice along one path (Free/Put after a release or hand-off)", Severity: SevError},
+			{ID: "own-useafterfree", Doc: "a packet is used after a release point on some path", Severity: SevError},
+		},
+		Check: func(l *Loader, pkg *Package, report func(token.Pos, string, string)) {
+			path := effectivePath(pkg)
+			if !l.SimPackage(path) {
+				return
+			}
+			// The resource implementations themselves legitimately touch
+			// freelists and handle internals.
+			if path == l.ModulePath+"/internal/packet" || path == l.ModulePath+"/internal/eventq" {
+				return
+			}
+			for _, f := range pkg.Files {
+				eachFuncBody(pkg, f, func(obj *types.Func, recv *ast.FieldList, ftype *ast.FuncType, body *ast.BlockStmt) {
+					oc := &ownChecker{
+						l:        l,
+						info:     pkg.Info,
+						du:       l.funcData(pkg.Info, recv, ftype, body),
+						captured: capturedVars(pkg, body),
+						report:   report,
+						reported: make(map[string]bool),
+					}
+					oc.check()
+				})
+			}
+		},
+	}
+}
+
+// varEvent is one classified event of a block node on a tracked variable.
+type varEvent struct {
+	v   *types.Var
+	ev  ownEvent
+	pos token.Pos
+}
+
+type ownChecker struct {
+	l        *Loader
+	info     *types.Info
+	du       *defUse
+	captured map[*types.Var]bool
+	report   func(token.Pos, string, string)
+	reported map[string]bool
+
+	eventsAt map[ast.Node][]varEvent
+}
+
+func (oc *ownChecker) reportOnce(pos token.Pos, rule, msg string) {
+	key := fmt.Sprintf("%s:%d", rule, pos)
+	if oc.reported[key] {
+		return
+	}
+	oc.reported[key] = true
+	oc.report(pos, rule, msg)
+}
+
+// tracked is one resource value under analysis: a borrowed parameter
+// (birth == nil, paths start at entry) or an owned local (paths start just
+// after the birth node).
+type tracked struct {
+	v       *types.Var
+	kind    string // "packet" or "timer"
+	isParam bool
+	birth   ast.Node
+	blk     *cfgBlock
+	idx     int
+}
+
+func (oc *ownChecker) check() {
+	du := oc.du
+
+	// Pre-classify every node's events once.
+	oc.eventsAt = make(map[ast.Node][]varEvent)
+	for _, blk := range du.g.blocks {
+		for _, n := range blk.nodes {
+			node := n
+			oc.l.ownEvents(oc.info, du, node, func(v *types.Var, ev ownEvent, pos token.Pos) {
+				oc.eventsAt[node] = append(oc.eventsAt[node], varEvent{v, ev, pos})
+			})
+		}
+	}
+
+	var items []tracked
+
+	// Borrowed resource parameters.
+	for _, d := range du.defs {
+		if d.kind != defParam || oc.captured[d.obj] {
+			continue
+		}
+		if kind := resourceKind(d.obj.Type()); kind == "packet" {
+			items = append(items, tracked{v: d.obj, kind: kind, isParam: true,
+				blk: du.g.entry, idx: 0})
+		}
+	}
+
+	// Owned locals born from a call, and discarded births.
+	for _, blk := range du.g.blocks {
+		for idx, n := range blk.nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := ast.Unparen(es.X).(*ast.CallExpr); ok {
+					if oc.l.ownedBirth(oc.info, call) == "packet" {
+						oc.reportOnce(call.Pos(), "own-leak",
+							"owned packet result is discarded; the borrowed packet can never be returned to its pool")
+					}
+				}
+				continue
+			}
+			for _, d := range du.defsAt[n] {
+				if d.kind != defExpr || d.rhs == nil || oc.captured[d.obj] {
+					continue
+				}
+				call, ok := ast.Unparen(d.rhs).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				kind := oc.l.ownedBirth(oc.info, call)
+				if kind == "" || resourceKind(d.obj.Type()) != kind {
+					continue
+				}
+				items = append(items, tracked{v: d.obj, kind: kind,
+					birth: n, blk: blk, idx: idx})
+			}
+		}
+	}
+	if len(items) == 0 {
+		return
+	}
+
+	for _, it := range items {
+		releases := oc.hasRelease(it.v)
+		switch it.kind {
+		case "packet":
+			// Leak: parameters arm only when a release exists somewhere
+			// (release-on-some-paths-but-not-all); owned locals always arm.
+			if !it.isParam || releases {
+				oc.checkLeak(it)
+			}
+			oc.checkDoubleFree(it)
+			oc.checkUseAfterFree(it)
+		case "timer":
+			oc.checkLeak(it)
+		}
+	}
+}
+
+// hasRelease reports whether any node releases v (directly or deferred).
+func (oc *ownChecker) hasRelease(v *types.Var) bool {
+	for _, evs := range oc.eventsAt {
+		for _, e := range evs {
+			if e.v == v && (e.ev == evRelease || e.ev == evDeferRelease) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// rebinds reports whether node n redefines v (other than the birth node
+// itself, which loops may legitimately revisit).
+func (oc *ownChecker) rebinds(n ast.Node, v *types.Var, birth ast.Node) bool {
+	if n == birth {
+		return true // reaching the birth again: old value ends here
+	}
+	for _, d := range oc.du.defsAt[n] {
+		if d.obj == v {
+			return true
+		}
+	}
+	return false
+}
+
+// isTerminalNode reports whether n ends the path without a normal return
+// (panic / os.Exit expression statements).
+func isTerminalNode(n ast.Node) bool {
+	es, ok := n.(*ast.ExprStmt)
+	return ok && isTerminalCall(es.X)
+}
+
+// liveSuccs returns blk's successors excluding a nil-branch for v: when the
+// block ends in `v == nil` / `v != nil`, a live resource pointer only
+// follows the non-nil edge.
+func (oc *ownChecker) liveSuccs(blk *cfgBlock, v *types.Var) []*cfgBlock {
+	if len(blk.succs) != 2 || len(blk.nodes) == 0 {
+		return blk.succs
+	}
+	be, ok := blk.nodes[len(blk.nodes)-1].(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return blk.succs
+	}
+	var other ast.Expr
+	if id, ok := ast.Unparen(be.X).(*ast.Ident); ok && oc.du.localVar(id) == v {
+		other = be.Y
+	} else if id, ok := ast.Unparen(be.Y).(*ast.Ident); ok && oc.du.localVar(id) == v {
+		other = be.X
+	} else {
+		return blk.succs
+	}
+	if tv, ok := oc.info.Types[other]; !ok || !tv.IsNil() {
+		return blk.succs
+	}
+	// cond() links the true successor first.
+	if be.Op == token.EQL {
+		return blk.succs[1:2] // v == nil: true branch is the nil branch
+	}
+	return blk.succs[0:1] // v != nil: false branch is the nil branch
+}
+
+// pathStep is what one node does to the path being walked.
+type pathStep int
+
+const (
+	stepContinue pathStep = iota
+	stepClose             // path is settled (discharged / terminal / rebind)
+	stepHit               // defect found at this node
+)
+
+// walkPaths DFSes from just after (blk, start), applying step to each node.
+// It returns true if some path reaches function exit with every node
+// stepping stepContinue (used by the leak check); step may report hits as a
+// side effect. Dead-end blocks are builder artifacts, not paths to exit.
+func (oc *ownChecker) walkPaths(v *types.Var, blk *cfgBlock, start int, step func(n ast.Node) pathStep) bool {
+	scan := func(b *cfgBlock, from int) pathStep {
+		for _, n := range b.nodes[from:] {
+			switch step(n) {
+			case stepClose:
+				return stepClose
+			case stepHit:
+				return stepHit
+			}
+		}
+		return stepContinue
+	}
+	switch scan(blk, start) {
+	case stepClose, stepHit:
+		return false
+	}
+	visited := map[*cfgBlock]bool{}
+	var dfs func(b *cfgBlock) bool
+	dfs = func(b *cfgBlock) bool {
+		if b == oc.du.g.exit {
+			return true
+		}
+		if visited[b] {
+			return false
+		}
+		visited[b] = true
+		switch scan(b, 0) {
+		case stepClose, stepHit:
+			return false
+		}
+		succs := oc.liveSuccs(b, v)
+		if len(succs) == 0 {
+			return false
+		}
+		leaked := false
+		for _, s := range succs {
+			if dfs(s) {
+				leaked = true
+			}
+		}
+		return leaked
+	}
+	leaked := false
+	for _, s := range oc.liveSuccs(blk, v) {
+		if dfs(s) {
+			leaked = true
+		}
+	}
+	return leaked
+}
+
+// eventsOn returns the classified events of node n on variable v.
+func (oc *ownChecker) eventsOn(n ast.Node, v *types.Var) []varEvent {
+	var out []varEvent
+	for _, e := range oc.eventsAt[n] {
+		if e.v == v {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// checkLeak reports a path from the birth (or entry, for parameters) to
+// function exit on which v is never discharged.
+func (oc *ownChecker) checkLeak(it tracked) {
+	discharging := func(ev ownEvent) bool {
+		switch ev {
+		case evRelease, evDeferRelease, evTransfer, evMaybe, evStore:
+			return true
+		}
+		return false
+	}
+	start := it.idx
+	if !it.isParam {
+		start = it.idx + 1
+	}
+	leaks := oc.walkPaths(it.v, it.blk, start, func(n ast.Node) pathStep {
+		if isTerminalNode(n) {
+			return stepClose
+		}
+		for _, e := range oc.eventsOn(n, it.v) {
+			if discharging(e.ev) {
+				return stepClose
+			}
+		}
+		if oc.rebinds(n, it.v, it.birth) {
+			return stepClose
+		}
+		return stepContinue
+	})
+	if !leaks {
+		return
+	}
+	pos := it.v.Pos()
+	switch {
+	case it.isParam:
+		oc.reportOnce(pos, "own-leak",
+			fmt.Sprintf("%s is released on some paths but reaches function exit still held on others; release it on every path or on none", it.v.Name()))
+	case it.kind == "timer":
+		oc.reportOnce(pos, "own-leak",
+			fmt.Sprintf("timer handle %s is dropped on some path; store it, cancel it, or call At/After without binding the result", it.v.Name()))
+	default:
+		oc.reportOnce(pos, "own-leak",
+			fmt.Sprintf("%s holds an owned packet that reaches function exit undischarged on some path; Free it, hand it off, or store it on every path", it.v.Name()))
+	}
+}
+
+// checkDoubleFree reports a release of v reachable after a release,
+// deferred release, or hand-off of v on the same path.
+func (oc *ownChecker) checkDoubleFree(it tracked) {
+	isOrigin := func(ev ownEvent) bool {
+		switch ev {
+		case evRelease, evDeferRelease, evTransfer, evStore:
+			return true
+		}
+		return false
+	}
+	for _, blk := range oc.du.g.blocks {
+		for idx, n := range blk.nodes {
+			origin := false
+			for _, e := range oc.eventsOn(n, it.v) {
+				if isOrigin(e.ev) {
+					origin = true
+					break
+				}
+			}
+			if !origin {
+				continue
+			}
+			oc.walkPaths(it.v, blk, idx+1, func(m ast.Node) pathStep {
+				if isTerminalNode(m) {
+					return stepClose
+				}
+				for _, e := range oc.eventsOn(m, it.v) {
+					if e.ev == evRelease || e.ev == evDeferRelease {
+						oc.reportOnce(e.pos, "own-doublefree",
+							fmt.Sprintf("%s may already have been released or handed off when this release runs", it.v.Name()))
+						return stepHit
+					}
+				}
+				if oc.rebinds(m, it.v, it.birth) {
+					return stepClose
+				}
+				return stepContinue
+			})
+		}
+	}
+}
+
+// checkUseAfterFree reports a use, hand-off, or store of v reachable after
+// an unconditional release of v. Deferred releases run at exit, so nothing
+// in the body can be "after" them.
+func (oc *ownChecker) checkUseAfterFree(it tracked) {
+	for _, blk := range oc.du.g.blocks {
+		for idx, n := range blk.nodes {
+			origin := false
+			for _, e := range oc.eventsOn(n, it.v) {
+				if e.ev == evRelease {
+					origin = true
+					break
+				}
+			}
+			if !origin {
+				continue
+			}
+			oc.walkPaths(it.v, blk, idx+1, func(m ast.Node) pathStep {
+				if isTerminalNode(m) {
+					return stepClose
+				}
+				if oc.rebinds(m, it.v, it.birth) {
+					return stepClose
+				}
+				for _, e := range oc.eventsOn(m, it.v) {
+					switch e.ev {
+					case evUse, evMaybe, evTransfer, evStore:
+						oc.reportOnce(e.pos, "own-useafterfree",
+							fmt.Sprintf("%s is used here after being released on some path", it.v.Name()))
+						return stepHit
+					case evRelease, evDeferRelease:
+						return stepClose // own-doublefree's finding
+					}
+				}
+				return stepContinue
+			})
+		}
+	}
+}

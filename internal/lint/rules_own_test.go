@@ -1,0 +1,482 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// --- own-leak ---
+
+func TestOwnLeakParamReleasedOnOnePathOnly(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixownleak", "fixownleak.go", `
+package fixownleak
+
+import "dibs/internal/packet"
+
+// Forward frees p when the TTL is spent but lets it fall off the end of
+// the function otherwise: released on one path, leaked on the other.
+func Forward(p *packet.Packet) {
+	if p.TTL <= 0 {
+		packet.Free(p)
+		return
+	}
+	p.Hops++
+}
+`)
+	assertRule(t, fs, "own-leak", 1)
+	for _, f := range fs {
+		if f.Rule == "own-leak" && !strings.Contains(f.Msg, "p is released on some paths") {
+			t.Errorf("param leak message should name the asymmetry: %s", f.Msg)
+		}
+	}
+}
+
+func TestOwnLeakBorrowedParamWithoutReleaseIsFine(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixownborrow", "fixownborrow.go", `
+package fixownborrow
+
+import "dibs/internal/packet"
+
+// Peek only inspects the packet; with no release anywhere the borrow is a
+// plain borrow, not a leak.
+func Peek(p *packet.Packet) int {
+	if p.CE {
+		return 0
+	}
+	return p.Size()
+}
+`)
+	assertRule(t, fs, "own-leak", 0)
+}
+
+func TestOwnLeakLocalBirthUndischarged(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixownbirth", "fixownbirth.go", `
+package fixownbirth
+
+import "dibs/internal/packet"
+
+// Emit borrows a packet from the pool but drops it when the flow is
+// filtered: the early return leaks the borrow.
+func Emit(pool *packet.Pool, filtered bool) {
+	p := pool.Get()
+	if filtered {
+		return
+	}
+	packet.Free(p)
+}
+`)
+	assertRule(t, fs, "own-leak", 1)
+}
+
+func TestOwnLeakDischargedOnEveryPath(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixownok", "fixownok.go", `
+package fixownok
+
+import "dibs/internal/packet"
+
+func Emit(pool *packet.Pool, filtered bool) {
+	p := pool.Get()
+	if filtered {
+		packet.Free(p)
+		return
+	}
+	packet.Free(p)
+}
+`)
+	assertRule(t, fs, "own-leak", 0)
+}
+
+func TestOwnLeakDiscardedBirth(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixowndiscard", "fixowndiscard.go", `
+package fixowndiscard
+
+import "dibs/internal/packet"
+
+func Warm(pool *packet.Pool) {
+	pool.Get()
+}
+`)
+	assertRule(t, fs, "own-leak", 1)
+}
+
+// The //dibslint:owns annotation marks an intentional long-lived transfer:
+// handing the packet to the annotated consumer discharges the path.
+func TestOwnLeakSuppressedByOwnsTransfer(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixownxfer", "fixownxfer.go", `
+package fixownxfer
+
+import "dibs/internal/packet"
+
+type ring struct {
+	buf []*packet.Packet
+}
+
+//dibslint:owns the ring keeps the packet until the far end pops it
+func (r *ring) push(p *packet.Packet) {
+	r.buf = append(r.buf, p)
+}
+
+func Launch(pool *packet.Pool, r *ring) {
+	p := pool.Get()
+	r.push(p)
+}
+`)
+	assertRule(t, fs, "own-leak", 0)
+}
+
+func TestOwnLeakUnannotatedSinkStillLeaks(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixownnoxfer", "fixownnoxfer.go", `
+package fixownnoxfer
+
+import "dibs/internal/packet"
+
+type observer interface {
+	Observe(p *packet.Packet)
+}
+
+// Observe is an unannotated interface method: the checker must treat the
+// call as a borrow, so the birth reaches exit undischarged.
+func Launch(pool *packet.Pool, o observer) {
+	p := pool.Get()
+	o.Observe(p)
+}
+`)
+	assertRule(t, fs, "own-leak", 1)
+}
+
+// A consumer returning queue.Result is conditional: its call sites
+// discharge leak paths (the queue stored the packet on accept) without
+// becoming double-free origins (the caller may still drop on refusal).
+func TestOwnConditionalTransferViaQueueResult(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixownmaybe", "fixownmaybe.go", `
+package fixownmaybe
+
+import (
+	"dibs/internal/packet"
+	"dibs/internal/queue"
+)
+
+func Offer(pool *packet.Pool, q queue.Queue) {
+	p := pool.Get()
+	r := q.Enqueue(p)
+	if !r.Accepted {
+		packet.Free(p)
+	}
+}
+`)
+	assertRule(t, fs, "own-leak", 0)
+	assertRule(t, fs, "own-doublefree", 0)
+	assertRule(t, fs, "own-useafterfree", 0)
+}
+
+func TestOwnNilGuardedDequeueIsNotALeak(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixownnil", "fixownnil.go", `
+package fixownnil
+
+import (
+	"dibs/internal/packet"
+	"dibs/internal/queue"
+)
+
+// The nil branch of a Dequeue result carries no resource; only the
+// non-nil branch must discharge.
+func Drain(q queue.Queue) {
+	p := q.Dequeue()
+	if p == nil {
+		return
+	}
+	packet.Free(p)
+}
+`)
+	assertRule(t, fs, "own-leak", 0)
+}
+
+func TestOwnPanicPathClosesLeak(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixownpanic", "fixownpanic.go", `
+package fixownpanic
+
+import (
+	"dibs/internal/packet"
+	"dibs/internal/queue"
+)
+
+func MustOffer(pool *packet.Pool, q queue.Queue) {
+	p := pool.Get()
+	r := q.Enqueue(p)
+	if !r.Accepted {
+		panic("fixture: queue refused after fullness check")
+	}
+}
+`)
+	assertRule(t, fs, "own-leak", 0)
+}
+
+// --- own-doublefree ---
+
+func TestOwnDoubleFreeOnOnePath(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixowndf", "fixowndf.go", `
+package fixowndf
+
+import "dibs/internal/packet"
+
+func Drop(p *packet.Packet, logged bool) {
+	if logged {
+		packet.Free(p)
+	}
+	packet.Free(p)
+}
+`)
+	assertRule(t, fs, "own-doublefree", 1)
+}
+
+func TestOwnDoubleFreeAfterStore(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixowndfstore", "fixowndfstore.go", `
+package fixowndfstore
+
+import "dibs/internal/packet"
+
+type port struct {
+	current *packet.Packet
+}
+
+// Storing the packet hands it to the port; freeing it afterwards releases
+// a packet the function no longer owns.
+func (o *port) Hold(p *packet.Packet) {
+	o.current = p
+	packet.Free(p)
+}
+`)
+	assertRule(t, fs, "own-doublefree", 1)
+}
+
+func TestOwnDeferredFreeThenFreeIsDoubleFree(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixowndfdefer", "fixowndfdefer.go", `
+package fixowndfdefer
+
+import "dibs/internal/packet"
+
+func Scoped(pool *packet.Pool, early bool) {
+	p := pool.Get()
+	defer packet.Free(p)
+	if early {
+		packet.Free(p)
+	}
+}
+`)
+	assertRule(t, fs, "own-doublefree", 1)
+}
+
+func TestOwnDeferredFreeAloneIsClean(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixowndeferok", "fixowndeferok.go", `
+package fixowndeferok
+
+import "dibs/internal/packet"
+
+func Scoped(pool *packet.Pool) int {
+	p := pool.Get()
+	defer packet.Free(p)
+	p.Hops++
+	return p.Size()
+}
+`)
+	assertRule(t, fs, "own-leak", 0)
+	assertRule(t, fs, "own-doublefree", 0)
+	assertRule(t, fs, "own-useafterfree", 0)
+}
+
+func TestOwnFreeInLoopIsDoubleFree(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixowndfloop", "fixowndfloop.go", `
+package fixowndfloop
+
+import "dibs/internal/packet"
+
+// The same packet is released on every iteration: the back edge makes the
+// second release reachable from the first.
+func DrainWrong(p *packet.Packet, n int) {
+	for i := 0; i < n; i++ {
+		packet.Free(p)
+	}
+}
+`)
+	assertRule(t, fs, "own-doublefree", 1)
+}
+
+func TestOwnPerIterationBirthInLoopIsClean(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixownloopok", "fixownloopok.go", `
+package fixownloopok
+
+import "dibs/internal/packet"
+
+func Burst(pool *packet.Pool, n int) {
+	for i := 0; i < n; i++ {
+		p := pool.Get()
+		p.Hops++
+		packet.Free(p)
+	}
+}
+`)
+	assertRule(t, fs, "own-leak", 0)
+	assertRule(t, fs, "own-doublefree", 0)
+}
+
+// --- own-useafterfree ---
+
+func TestOwnUseAfterFree(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixownuaf", "fixownuaf.go", `
+package fixownuaf
+
+import "dibs/internal/packet"
+
+func Drop(p *packet.Packet) int {
+	packet.Free(p)
+	return p.Size()
+}
+`)
+	assertRule(t, fs, "own-useafterfree", 1)
+}
+
+func TestOwnUseAfterFreeOnOnePathOnly(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixownuafpath", "fixownuafpath.go", `
+package fixownuafpath
+
+import "dibs/internal/packet"
+
+type counters struct {
+	bytes int
+}
+
+// The drop branch frees p, then both branches rejoin at the accounting
+// line: the use is after-free on one path only.
+func (c *counters) Account(p *packet.Packet, drop bool) {
+	if drop {
+		packet.Free(p)
+	}
+	c.bytes += p.Size()
+}
+`)
+	assertRule(t, fs, "own-useafterfree", 1)
+}
+
+func TestOwnUseBeforeFreeIsClean(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixownuseok", "fixownuseok.go", `
+package fixownuseok
+
+import "dibs/internal/packet"
+
+type counters struct {
+	bytes int
+}
+
+func (c *counters) Drop(p *packet.Packet) {
+	c.bytes += p.Size()
+	packet.Free(p)
+}
+`)
+	assertRule(t, fs, "own-useafterfree", 0)
+}
+
+// --- interprocedural summaries ---
+
+// A helper whose body ends in packet.Free releases its argument from every
+// caller's point of view, so the caller's paths are judged correctly.
+func TestOwnTransitiveReleaseThroughHelper(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixowntrans", "fixowntrans.go", `
+package fixowntrans
+
+import "dibs/internal/packet"
+
+type sw struct {
+	drops int
+}
+
+func (s *sw) drop(p *packet.Packet) {
+	s.drops++
+	packet.Free(p)
+}
+
+// Bad: drop on one path, fall-through on the other.
+func (s *sw) Receive(p *packet.Packet) {
+	if p.TTL <= 0 {
+		s.drop(p)
+		return
+	}
+	p.Hops++
+}
+
+// AlsoBad: the helper released p, then the caller uses it.
+func (s *sw) Audit(p *packet.Packet) int {
+	s.drop(p)
+	return p.Size()
+}
+`)
+	assertRule(t, fs, "own-leak", 1)
+	assertRule(t, fs, "own-useafterfree", 1)
+}
+
+// --- timer handles ---
+
+func TestOwnTimerHandleDroppedOnOnePath(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixowntimer", "fixowntimer.go", `
+package fixowntimer
+
+import "dibs/internal/eventq"
+
+type ep struct {
+	rto eventq.Timer
+}
+
+// The bound handle is stored only when armed; the other path drops it and
+// the endpoint can never cancel the timer.
+func (e *ep) Arm(s *eventq.Scheduler, armed bool) {
+	t := s.After(5*eventq.Microsecond, func() {})
+	if armed {
+		e.rto = t
+	}
+}
+`)
+	assertRule(t, fs, "own-leak", 1)
+}
+
+func TestOwnTimerFireAndForgetIsClean(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixowntimerok", "fixowntimerok.go", `
+package fixowntimerok
+
+import "dibs/internal/eventq"
+
+type ep struct {
+	rto eventq.Timer
+}
+
+func (e *ep) Arm(s *eventq.Scheduler) {
+	// Unbound After is the sanctioned fire-and-forget idiom.
+	s.After(5*eventq.Microsecond, func() {})
+	// Binding and storing on every path is fine too.
+	e.rto = s.After(9*eventq.Microsecond, func() {})
+}
+
+func (e *ep) Rearm(s *eventq.Scheduler) {
+	t := s.After(5*eventq.Microsecond, func() {})
+	t.Cancel()
+}
+`)
+	assertRule(t, fs, "own-leak", 0)
+}
+
+// --- perimeter ---
+
+func TestOwnRulesOffOutsideSimPackages(t *testing.T) {
+	fs := lintFixture(t, "dibs/cmd/fixowncmd", "fixowncmd.go", `
+package fixowncmd
+
+import "dibs/internal/packet"
+
+func Probe(pool *packet.Pool, filtered bool) {
+	p := pool.Get()
+	if filtered {
+		return
+	}
+	packet.Free(p)
+}
+`)
+	assertRule(t, fs, "own-leak", 0)
+}

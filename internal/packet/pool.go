@@ -1,6 +1,19 @@
 package packet
 
-import "fmt"
+import (
+	"fmt"
+	"testing"
+)
+
+// StrictFree makes Free panic on a packet that has no owning pool instead
+// of silently no-op'ing. Composite-literal packets are a test convenience;
+// in a real run every packet reaching a terminal path (drop, delivery,
+// eviction) must have come from a pool, and a silent no-op hides exactly
+// the accounting bugs the conservation checks exist to catch. It defaults
+// to on under `go test` so literal packets that reach a terminal path fail
+// loudly; tests that intentionally use literals flip it off around the
+// injection (see pool_test.go).
+var StrictFree = testing.Testing()
 
 // Pool is a per-simulation packet arena: a freelist of Packet values with
 // generation-counted borrow/return semantics, mirroring the event-node
@@ -94,11 +107,18 @@ func (pl *Pool) Leaked() []*Packet {
 }
 
 // Free returns p to its owning pool. It is the terminal-path hook used by
-// switches and hosts: packets built by tests as plain composite literals
-// have no pool and pass through as a no-op, so non-pooled packets remain
-// ordinary garbage-collected values.
+// switches and hosts. Packets built as plain composite literals have no
+// pool: under StrictFree (the default in test binaries) they panic here,
+// otherwise they pass through as a no-op and remain ordinary
+// garbage-collected values.
 func Free(p *Packet) {
-	if p == nil || p.pool == nil {
+	if p == nil {
+		return
+	}
+	if p.pool == nil {
+		if StrictFree {
+			panic(fmt.Sprintf("packet: Free of non-pooled packet %s (composite literal reached a terminal path; borrow from a Pool or clear packet.StrictFree)", p))
+		}
 		return
 	}
 	p.pool.Put(p)

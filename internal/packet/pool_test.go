@@ -88,8 +88,29 @@ func TestPoolLeakedNamesOutstanding(t *testing.T) {
 	}
 }
 
-func TestFreeIgnoresNonPooled(t *testing.T) {
-	Free(nil)
+func TestFreeNilIsNoOp(t *testing.T) {
+	Free(nil) // nil stays a no-op even under StrictFree
+}
+
+func TestStrictFreePanicsOnNonPooled(t *testing.T) {
+	if !StrictFree {
+		t.Fatal("StrictFree must default to on in test binaries")
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Free of a composite-literal packet must panic under StrictFree")
+		}
+		if !strings.Contains(r.(string), "non-pooled") {
+			t.Fatalf("panic message should name the cause: %v", r)
+		}
+	}()
+	Free(&Packet{Kind: Data, Flow: 7})
+}
+
+func TestFreeIgnoresNonPooledWhenLenient(t *testing.T) {
+	StrictFree = false
+	defer func() { StrictFree = true }()
 	Free(&Packet{Kind: Data, Flow: 7}) // composite-literal packet: no-op
 }
 
@@ -133,7 +154,11 @@ func TestCloneIsNotPoolManaged(t *testing.T) {
 	if c.pool != nil || c.Pooled() || c.Gen() != 0 {
 		t.Fatalf("clone carries pool bookkeeping: %+v", c)
 	}
-	Free(c) // must be a no-op
+	// Clones are deliberately outside pool custody; with StrictFree
+	// relaxed, freeing one must not return the original's node.
+	StrictFree = false
+	Free(c)
+	StrictFree = true
 	if pl.Returned() != 0 {
 		t.Fatal("freeing a clone returned the original's node")
 	}

@@ -110,11 +110,15 @@ func TestCIOQIngressOverflow(t *testing.T) {
 		}
 	}
 	host := topo.Hosts()[0]
+	pl := packet.NewPool()
 	for i := 0; i < 20; i++ {
-		s.Receive(dataPkt(packet.FlowID(i), host, 64), 0)
+		s.Receive(pooledPkt(pl, packet.FlowID(i), host, 64), 0)
 	}
 	if drops == 0 || s.IngressDrops == 0 {
 		t.Fatal("ingress overflow not recorded")
+	}
+	if int(pl.Returned()) != drops {
+		t.Fatalf("overflow drops freed %d packets, want %d", pl.Returned(), drops)
 	}
 	sched.Run()
 }
@@ -163,7 +167,7 @@ func TestCIOQDIBSDetoursAtEgressFull(t *testing.T) {
 
 func TestCIOQTTLAndNoRouteDrops(t *testing.T) {
 	s, topo, _, sched, _ := buildCIOQ(t, DefaultCIOQ, nil, 10)
-	s.Receive(dataPkt(1, topo.Hosts()[0], 1), 0)
+	s.Receive(pooledPkt(packet.NewPool(), 1, topo.Hosts()[0], 1), 0)
 	if s.Drops[DropTTL] != 1 {
 		t.Fatal("TTL drop not recorded")
 	}

@@ -27,6 +27,18 @@ func dataPkt(flow packet.FlowID, dst packet.NodeID, ttl int) *packet.Packet {
 	return &packet.Packet{Kind: packet.Data, Flow: flow, Dst: dst, PayloadBytes: 1460, TTL: ttl}
 }
 
+// pooledPkt is dataPkt for packets that will reach a terminal path (drop,
+// TTL expiry, eviction): StrictFree requires those to come from a pool.
+func pooledPkt(pl *packet.Pool, flow packet.FlowID, dst packet.NodeID, ttl int) *packet.Packet {
+	p := pl.Get()
+	p.Kind = packet.Data
+	p.Flow = flow
+	p.Dst = dst
+	p.PayloadBytes = 1460
+	p.TTL = ttl
+	return p
+}
+
 func TestOutPortTiming(t *testing.T) {
 	sched := eventq.NewScheduler()
 	sink := &capture{sched: sched}
@@ -176,7 +188,7 @@ func TestSwitchTTLExpiry(t *testing.T) {
 		}
 		dropped = append(dropped, p)
 	}
-	s.Receive(dataPkt(1, topo.Hosts()[0], 1), 0)
+	s.Receive(pooledPkt(packet.NewPool(), 1, topo.Hosts()[0], 1), 0)
 	sched.Run()
 	if len(dropped) != 1 || s.Drops[DropTTL] != 1 {
 		t.Fatalf("TTL drop not recorded: %d", s.Drops[DropTTL])
@@ -199,8 +211,9 @@ func TestSwitchDropTailWithoutDIBS(t *testing.T) {
 	}
 	host := topo.Hosts()[0]
 	// 10 packets into a 2-deep queue; one may be in the transmitter.
+	pl := packet.NewPool()
 	for i := 0; i < 10; i++ {
-		s.Receive(dataPkt(1, host, 64), 0)
+		s.Receive(pooledPkt(pl, 1, host, 64), 0)
 	}
 	if drops == 0 || s.Drops[DropOverflow] == 0 {
 		t.Fatal("no overflow drops recorded")
@@ -263,8 +276,9 @@ func TestSwitchDIBSDropsWhenAllNeighborsFull(t *testing.T) {
 	}
 	host := topo.Hosts()[0]
 	// Flood far more than 4 ports x 1 slot can hold before any drains.
+	pl := packet.NewPool()
 	for i := 0; i < 50; i++ {
-		s.Receive(dataPkt(packet.FlowID(i), host, 64), 0)
+		s.Receive(pooledPkt(pl, packet.FlowID(i), host, 64), 0)
 	}
 	if noDetour == 0 {
 		t.Fatal("expected DropNoDetour when the whole neighborhood is full")
@@ -335,8 +349,9 @@ func TestPFabricEvictionCountsAsDrop(t *testing.T) {
 	}
 	s := NewSwitch(sw, topo, ports, nil, rand.New(rand.NewSource(1)), hooks)
 	host := topo.Hosts()[0]
+	pl := packet.NewPool()
 	mk := func(prio int64) *packet.Packet {
-		p := dataPkt(packet.FlowID(prio), host, 64)
+		p := pooledPkt(pl, packet.FlowID(prio), host, 64)
 		p.Priority = prio
 		return p
 	}
@@ -354,8 +369,9 @@ func TestPFabricEvictionCountsAsDrop(t *testing.T) {
 
 func TestTotalDrops(t *testing.T) {
 	s, topo, _, sched, _ := buildSwitch(t, nil, 1)
+	pl := packet.NewPool()
 	for i := 0; i < 10; i++ {
-		s.Receive(dataPkt(1, topo.Hosts()[0], 64), 0)
+		s.Receive(pooledPkt(pl, 1, topo.Hosts()[0], 64), 0)
 	}
 	sched.Run()
 	if s.TotalDrops() != s.Drops[DropOverflow] {
