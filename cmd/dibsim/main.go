@@ -55,6 +55,7 @@ func main() {
 		confOut  = flag.String("dumpconfig", "", "write the effective JSON config to this file and exit")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		engine   = flag.String("engine", "wheel", "scheduler engine: wheel|heap (results are byte-identical; heap is the differential reference)")
 	)
 	flag.Parse()
 
@@ -85,7 +86,7 @@ func main() {
 			policy: *policy, tp: *tp, ttl: *ttl, dupack: *dupack,
 			qps: *qps, degree: *degree, respKB: *respKB, bgIAms: *bgIAms,
 			duration: *duration, drain: *drain, seed: *seed, fairN: *fairN,
-			pfc: *pfc, spray: *spray, delack: *delack,
+			pfc: *pfc, spray: *spray, delack: *delack, engine: *engine,
 		})
 	}
 	if *events != "" {
@@ -135,6 +136,7 @@ func runRepeat(cfg dibs.Config, repeat, workers int) {
 // flags bundles the command-line tuning knobs.
 type flags struct {
 	topo, bufMode, policy, tp   string
+	engine                      string
 	k, oversub, buffer, markAt  int
 	ttl, dupack, degree, fairN  int
 	respKB                      int64
@@ -230,6 +232,13 @@ func applyFlags(cfg *dibs.Config, f flags) {
 	}
 	cfg.PacketSpray = f.spray
 	cfg.DelayedAck = f.delack
+	switch f.engine {
+	case "wheel", "heap":
+		cfg.Engine = f.engine
+	default:
+		fmt.Fprintf(os.Stderr, "unknown engine %q\n", f.engine)
+		os.Exit(2)
+	}
 }
 
 func runIt(cfg dibs.Config, confOut, events string) {

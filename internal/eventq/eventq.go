@@ -1,10 +1,21 @@
 // Package eventq implements the discrete-event core of the simulator: a
-// virtual clock with nanosecond resolution and a 4-ary-heap scheduler.
+// virtual clock with nanosecond resolution and a pluggable scheduler.
 //
 // All simulator components (links, switches, transport timers, workload
 // generators) advance exclusively by scheduling callbacks on a single
 // Scheduler. Events scheduled for the same instant run in FIFO order of
 // scheduling, which keeps runs deterministic for a fixed seed.
+//
+// Two engines implement the same (at, seq) total order behind one API:
+//
+//   - EngineWheel (default): a hierarchical timing wheel (wheel.go) —
+//     4 cascading levels of 256 slots at a ~1µs tick, with a small sorted
+//     spill list for events beyond the wheel horizon. Near-horizon events
+//     (link-serialization completions, RTO timers) insert and fire in O(1).
+//   - EngineHeap: the inlined 4-ary min-heap, kept as a differential
+//     reference. Both engines must produce byte-identical simulations;
+//     the determinism regression and the cross-engine property test hold
+//     them to it.
 //
 // The hot path is allocation-lean: popped and canceled events are recycled
 // through a per-Scheduler freelist, so a steady-state run allocates no new
@@ -61,6 +72,39 @@ func (t Time) String() string {
 	}
 }
 
+// Engine selects the scheduler's internal priority structure. Both engines
+// realize the identical (at, seq) pop order; they differ only in cost
+// profile.
+type Engine uint8
+
+const (
+	// EngineWheel is the hierarchical timing wheel (default).
+	EngineWheel Engine = iota
+	// EngineHeap is the 4-ary min-heap reference engine.
+	EngineHeap
+)
+
+// String names the engine as accepted by ParseEngine.
+func (e Engine) String() string {
+	if e == EngineHeap {
+		return "heap"
+	}
+	return "wheel"
+}
+
+// ParseEngine maps a config/flag string to an Engine. The empty string
+// selects the default (wheel).
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", "wheel":
+		return EngineWheel, nil
+	case "heap":
+		return EngineHeap, nil
+	default:
+		return EngineWheel, fmt.Errorf("eventq: unknown engine %q (want wheel or heap)", s)
+	}
+}
+
 // event is a scheduled callback. seq breaks ties between events at the same
 // virtual instant so that scheduling order is execution order. gen counts
 // how many times the node has been recycled through the freelist; a Timer
@@ -71,8 +115,19 @@ type event struct {
 	fn       func()
 	gen      uint32
 	canceled bool
-	index    int32 // heap index, -1 once popped or recycled
+	// index is the heap position for the heap engine; the wheel engine
+	// uses the sentinels inWheelIdx/inSpillIdx. -1 once popped or
+	// recycled, under either engine.
+	index int32
 }
+
+// Wheel-engine index sentinels: the wheel never needs positional removal
+// (cancellation is lazy), only "is this node still queued, and where would
+// a sweep find it".
+const (
+	inWheelIdx int32 = 0 // resident in a wheel slot
+	inSpillIdx int32 = 1 // resident in the sorted spill list
+)
 
 // Timer is a value handle to a scheduled event that can be canceled or
 // queried. The zero Timer is valid: Cancel and Pending report false, When
@@ -92,17 +147,40 @@ func (t Timer) live() bool {
 // Cancel prevents the timer's callback from running. Canceling an already
 // fired or already canceled timer is a no-op. Cancel reports whether the
 // callback was still pending.
+//
+// Cancel itself is O(1): it only tombstones the node. Reclamation is
+// deferred — the heap engine compacts at the top of the run loop (never
+// re-entrantly from inside a firing callback), and the wheel engine
+// reclaims tombstones when their slot is next drained or cascaded.
 func (t Timer) Cancel() bool {
 	if !t.live() || t.ev.canceled || t.ev.index < 0 {
 		return false
 	}
 	t.ev.canceled = true
-	t.s.tombstones++
-	// Retransmit-style timers are canceled far more often than they fire;
-	// once tombstones dominate the heap, compact it so pops stay O(log n)
-	// over live events and the nodes return to the freelist.
-	if t.s.tombstones*2 > len(t.s.heap) {
-		t.s.sweep()
+	s := t.s
+	switch s.engine {
+	case EngineHeap:
+		s.tombstones++
+		// Retransmit-style timers are canceled far more often than they
+		// fire; once tombstones dominate the heap, compact it so pops stay
+		// O(log n) over live events and the nodes return to the freelist.
+		// Inside the run loop the compaction is deferred to the top of the
+		// loop: a callback canceling a sibling timer must not restructure
+		// the heap mid-iteration.
+		if s.tombstones*2 > len(s.heap) {
+			if s.running {
+				s.needSweep = true
+			} else {
+				s.sweep()
+			}
+		}
+	default:
+		if t.ev.index == inSpillIdx {
+			// Spill tombstones would otherwise linger forever ("never"
+			// timers are canceled, not fired); compaction runs at the
+			// next refill, outside any firing callback.
+			s.w.spillTombs++
+		}
 	}
 	return true
 }
@@ -127,28 +205,53 @@ func (t Timer) When() Time {
 // runs are reproducible (parallelism lives above whole runs, in
 // internal/runner).
 type Scheduler struct {
-	now  Time
-	seq  uint64
+	now    Time
+	seq    uint64
+	engine Engine
+
+	// --- heap engine state ---
 	heap []*event // 4-ary min-heap ordered by (at, seq)
-	free []*event // recycled event nodes
 	// tombstones counts canceled events still occupying heap slots.
 	tombstones int
-	executed   uint64
-	running    bool
-	stopped    bool
+	// needSweep defers tombstone compaction to the top of the run loop so
+	// Cancel never restructures the heap from inside a firing callback.
+	needSweep bool
+
+	// --- wheel engine state ---
+	w wheel
+
+	// free holds recycled event nodes, shared by both engines.
+	free []*event
+	// queued counts event nodes currently scheduled (including canceled
+	// ones not yet reclaimed), under either engine.
+	queued   int
+	executed uint64
+	running  bool
+	stopped  bool
 }
 
-// NewScheduler returns a scheduler with the clock at zero.
+// NewScheduler returns a scheduler with the clock at zero, using the
+// default engine (the timing wheel).
 func NewScheduler() *Scheduler {
-	return &Scheduler{}
+	return NewSchedulerEngine(EngineWheel)
 }
+
+// NewSchedulerEngine returns a scheduler using the given engine. EngineHeap
+// is the differential-testing reference; simulations are byte-identical
+// under both.
+func NewSchedulerEngine(e Engine) *Scheduler {
+	return &Scheduler{engine: e}
+}
+
+// Engine reports which engine the scheduler runs on.
+func (s *Scheduler) Engine() Engine { return s.engine }
 
 // Now returns the current virtual time.
 func (s *Scheduler) Now() Time { return s.now }
 
 // Len returns the number of pending events (including canceled ones not yet
 // discarded).
-func (s *Scheduler) Len() int { return len(s.heap) }
+func (s *Scheduler) Len() int { return s.queued }
 
 // Executed returns the number of callbacks run so far.
 func (s *Scheduler) Executed() uint64 { return s.executed }
@@ -160,31 +263,49 @@ func (s *Scheduler) At(at Time, fn func()) Timer {
 		panic(fmt.Sprintf("eventq: scheduling at %v before now %v", at, s.now))
 	}
 	ev := s.alloc(at, fn)
-	s.push(ev)
+	if s.engine == EngineHeap {
+		s.push(ev)
+	} else {
+		s.wheelInsert(ev)
+	}
+	s.queued++
 	return Timer{s: s, ev: ev, gen: ev.gen}
 }
 
-// After schedules fn to run d after the current time.
+// After schedules fn to run d after the current time. A delay that would
+// overflow virtual time (d near MaxTime used as "never") clamps to MaxTime
+// instead of wrapping negative.
 func (s *Scheduler) After(d Time, fn func()) Timer {
 	if d < 0 {
 		panic(fmt.Sprintf("eventq: negative delay %d", d))
 	}
-	return s.At(s.now+d, fn)
+	at := s.now + d
+	if at < s.now { // overflow: now + d wrapped past MaxTime
+		at = MaxTime
+	}
+	return s.At(at, fn)
 }
 
 // Stop halts Run/RunUntil after the currently executing event returns.
 func (s *Scheduler) Stop() { s.stopped = true }
 
-// alloc takes an event node off the freelist (or makes one) and stamps it.
+// alloc takes an event node off the freelist (or makes more) and stamps it.
+// Nodes are allocated in blocks: the freelist never shrinks, so a growing
+// simulation would otherwise pay one allocation per unit of peak pending
+// events while it warms up.
 func (s *Scheduler) alloc(at Time, fn func()) *event {
-	var ev *event
-	if n := len(s.free); n > 0 {
-		ev = s.free[n-1]
-		s.free[n-1] = nil
-		s.free = s.free[:n-1]
-	} else {
-		ev = &event{}
+	n := len(s.free)
+	if n == 0 {
+		block := make([]event, 64)
+		for i := range block {
+			block[i].index = -1
+			s.free = append(s.free, &block[i])
+		}
+		n = len(s.free)
 	}
+	ev := s.free[n-1]
+	s.free[n-1] = nil
+	s.free = s.free[:n-1]
 	ev.at, ev.seq, ev.fn = at, s.seq, fn
 	s.seq++
 	return ev
@@ -197,12 +318,13 @@ func (s *Scheduler) release(ev *event) {
 	ev.fn = nil
 	ev.canceled = false
 	ev.index = -1
+	s.queued--
 	s.free = append(s.free, ev)
 }
 
 // less orders events by (at, seq): time first, scheduling order within an
 // instant. seq is unique, so the order is total and runs are deterministic
-// regardless of heap layout.
+// regardless of engine or intermediate layout.
 func less(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
@@ -306,9 +428,9 @@ func (s *Scheduler) sweep() {
 	s.tombstones = 0
 }
 
-// step pops and runs the next event. Returns false when the queue is empty
-// or the next event is beyond limit.
-func (s *Scheduler) step(limit Time) bool {
+// stepHeap pops and runs the next event. Returns false when the queue is
+// empty or the next event is beyond limit.
+func (s *Scheduler) stepHeap(limit Time) bool {
 	for len(s.heap) > 0 {
 		next := s.heap[0]
 		if next.at > limit {
@@ -353,6 +475,20 @@ func (s *Scheduler) run(limit Time) {
 	s.running = true
 	s.stopped = false
 	defer func() { s.running = false }()
-	for !s.stopped && s.step(limit) {
+	if s.engine == EngineHeap {
+		for !s.stopped {
+			// Deferred tombstone compaction: requested by Cancel from
+			// inside a callback, performed here between events where no
+			// pop is in flight.
+			if s.needSweep {
+				s.sweep()
+				s.needSweep = false
+			}
+			if !s.stepHeap(limit) {
+				return
+			}
+		}
+		return
 	}
+	s.runWheel(limit)
 }

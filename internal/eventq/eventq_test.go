@@ -476,9 +476,10 @@ func TestFreelistRecycles(t *testing.T) {
 		t.Fatalf("chain ran %d times", n)
 	}
 	// One event in flight at a time: the freelist should hold exactly the
-	// one recycled node, not a thousand.
-	if len(s.free) != 1 {
-		t.Fatalf("freelist holds %d nodes, want 1", len(s.free))
+	// first allocation block, not a thousand nodes — steady-state churn
+	// reuses one node rather than allocating.
+	if len(s.free) != 64 {
+		t.Fatalf("freelist holds %d nodes, want one 64-node block", len(s.free))
 	}
 }
 

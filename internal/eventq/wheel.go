@@ -1,0 +1,419 @@
+package eventq
+
+import "math/bits"
+
+// Hierarchical timing wheel (Varghese & Lauck scheme 6/7, as in the classic
+// Linux timer wheel): four cascading levels of 256 slots over a ~1µs tick.
+//
+// Geometry. A tick is 1<<tickShift ns = 1024ns. Level L buckets ticks at
+// granularity 256^L, so the wheel spans 256^4 = 2^32 ticks (~73 virtual
+// minutes) before falling back to a sorted spill list — in practice only
+// MaxTime-style "never" timers land there.
+//
+// Residency invariant. Every resident event lives in the *remainder of the
+// current window* of its level: an event with tick t is in level L iff
+// t < (cur &^ (span(L)-1)) + span(L) for span(L) = 256^(L+1) and no lower
+// level satisfies that. Consequently, within each level all occupied slot
+// indices are >= the cursor's index at that level (strictly > for L >= 1),
+// so advancing the cursor is a forward bitmap scan — never a wrap — and the
+// slot under the cursor at levels >= 1 is always empty. When the cursor
+// crosses a level boundary, that level's next slot cascades: its events
+// reinsert, landing at strictly lower levels, which makes reusing the
+// slot's backing array safe.
+//
+// Determinism. The global firing order is the same (at, seq) total order
+// the heap engine realizes. Slot lists are append-ordered and cascades can
+// interleave older-seq events behind newer direct inserts, so a level-0
+// slot is sorted (insertion sort, usually a no-op verify pass) once, when
+// its drain starts. Draining then walks the slot linearly — the Run loop
+// fires a whole tick's batch without re-consulting the wheel — and a
+// callback scheduling into the live tick binary-inserts behind the drain
+// cursor, preserving FIFO within the instant.
+type wheel struct {
+	// cur is the wheel cursor in ticks. Events never reside at ticks
+	// behind it; inserts that would (only possible after a run advanced
+	// cur over tombstone-only slots) clamp their tick to cur, which
+	// preserves the (at, seq) firing order because every other resident
+	// event's at is >= cur<<tickShift.
+	cur   int64
+	slots [numLevels][wheelSlots][]*event
+	// occ mirrors slot occupancy: bit i of level L is set iff
+	// slots[L][i] is non-empty (tombstones count as occupancy until
+	// reclaimed). Lets the cursor skip empty regions 64 slots at a time.
+	occ [numLevels][wheelSlots / 64]uint64
+	// spill holds events beyond the wheel horizon, sorted by (at, seq).
+	spill      []*event
+	spillTombs int
+	// Drain state: when draining, level-0 slot slotIdx is sorted and
+	// events [0:di) have been fired or reclaimed.
+	draining bool
+	slotIdx  int
+	di       int
+}
+
+const (
+	tickShift  = 10 // 1 tick = 1024 ns, ~1 µs
+	levelBits  = 8
+	wheelSlots = 1 << levelBits
+	numLevels  = 4
+)
+
+// span returns the number of ticks one slot of the given level covers times
+// wheelSlots, i.e. the full horizon of that level.
+func span(level int) int64 { return 1 << uint(levelBits*(level+1)) }
+
+// occNext returns the lowest set bit index >= from in a 256-bit occupancy
+// map, or -1 if none.
+func occNext(m *[wheelSlots / 64]uint64, from int) int {
+	if from >= wheelSlots {
+		return -1
+	}
+	w := from >> 6
+	b := m[w] &^ (1<<uint(from&63) - 1)
+	for {
+		if b != 0 {
+			return w<<6 + bits.TrailingZeros64(b)
+		}
+		w++
+		if w == len(m) {
+			return -1
+		}
+		b = m[w]
+	}
+}
+
+// wheelInsert routes a freshly allocated event into the wheel. Called only
+// from At, so ev.at >= s.now.
+func (s *Scheduler) wheelInsert(ev *event) {
+	w := &s.w
+	tick := int64(ev.at) >> tickShift
+	if tick < w.cur {
+		// See the cur field comment: order-preserving clamp.
+		tick = w.cur
+	}
+	if w.draining && tick == w.cur {
+		w.drainInsert(ev)
+		return
+	}
+	w.put(ev, tick)
+}
+
+// put places ev (at the given tick, >= w.cur) into its level slot or the
+// spill list.
+//
+//dibslint:owns the slot array keeps the node until its tick drains or cascades
+func (w *wheel) put(ev *event, tick int64) {
+	c := w.cur
+	var level int
+	var idx int
+	switch {
+	case tick < (c&^(span(0)-1))+span(0):
+		level, idx = 0, int(tick&(wheelSlots-1))
+	case tick < (c&^(span(1)-1))+span(1):
+		level, idx = 1, int((tick>>levelBits)&(wheelSlots-1))
+	case tick < (c&^(span(2)-1))+span(2):
+		level, idx = 2, int((tick>>(2*levelBits))&(wheelSlots-1))
+	case tick < (c&^(span(3)-1))+span(3):
+		level, idx = 3, int((tick>>(3*levelBits))&(wheelSlots-1))
+	default:
+		w.spillInsert(ev)
+		return
+	}
+	lst := w.slots[level][idx]
+	if cap(lst) == 0 {
+		// Skip the 1-2-4 growth steps: with ~1µs ticks a live slot
+		// typically collects a handful of events before draining.
+		lst = make([]*event, 0, 16)
+	}
+	w.slots[level][idx] = append(lst, ev)
+	w.occ[level][idx>>6] |= 1 << uint(idx&63)
+	ev.index = inWheelIdx
+}
+
+// spillInsert binary-inserts ev into the sorted overflow list.
+//
+//dibslint:owns the spill list keeps the node until it migrates into the wheel
+func (w *wheel) spillInsert(ev *event) {
+	lo, hi := 0, len(w.spill)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if less(ev, w.spill[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	w.spill = append(w.spill, nil)
+	copy(w.spill[lo+1:], w.spill[lo:])
+	w.spill[lo] = ev
+	ev.index = inSpillIdx
+}
+
+// drainInsert places ev into the level-0 slot currently being drained, at
+// its (at, seq) position behind the drain cursor. Since ev.at >= s.now and
+// ev.seq is the largest yet issued, the position is always >= di, so the
+// event fires in this same drain pass, after every earlier same-instant
+// event — the FIFO-within-instant guarantee.
+//
+//dibslint:owns the live slot keeps the node until the drain reaches it
+func (w *wheel) drainInsert(ev *event) {
+	slot := w.slots[0][w.slotIdx]
+	if w.di > 32 && w.di*2 >= len(slot) {
+		// Trim the fired prefix so a workload that keeps scheduling into
+		// the live tick (sub-tick delays) cannot grow the slot without
+		// bound. Amortized O(1): each trimmed entry was one fired event.
+		n := copy(slot, slot[w.di:])
+		slot = slot[:n]
+		w.slots[0][w.slotIdx] = slot
+		w.di = 0
+	}
+	lo, hi := w.di, len(slot)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if less(ev, slot[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	slot = append(slot, nil)
+	copy(slot[lo+1:], slot[lo:])
+	slot[lo] = ev
+	w.slots[0][w.slotIdx] = slot
+	ev.index = inWheelIdx
+}
+
+// startDrain compacts tombstones out of level-0 slot idx, sorts it by
+// (at, seq) if a cascade left it out of order, and arms the drain state.
+// Returns false if the slot held only tombstones (it is emptied and its
+// occupancy bit cleared).
+func (s *Scheduler) startDrain(idx int) bool {
+	w := &s.w
+	slot := w.slots[0][idx]
+	// One pass does double duty: squeeze out canceled events and check
+	// whether the survivors are already (at, seq)-ordered — they are
+	// unless a cascade appended older-seq events behind direct inserts.
+	live := slot[:0]
+	sorted := true
+	for _, ev := range slot {
+		if ev.canceled {
+			s.release(ev)
+			continue
+		}
+		if n := len(live); n > 0 && less(ev, live[n-1]) {
+			sorted = false
+		}
+		live = append(live, ev)
+	}
+	// Stale pointers beyond len are left in place: every node is owned by
+	// the scheduler for its whole lifetime (freelist discipline), so they
+	// pin nothing the freelist does not already keep alive.
+	slot = live
+	w.slots[0][idx] = slot
+	if len(slot) == 0 {
+		w.occ[0][idx>>6] &^= 1 << uint(idx&63)
+		return false
+	}
+	if !sorted {
+		// Slots are small and nearly sorted; insertion sort avoids the
+		// closure allocation of sort.Slice.
+		for i := 1; i < len(slot); i++ {
+			ev := slot[i]
+			j := i - 1
+			for j >= 0 && less(ev, slot[j]) {
+				slot[j+1] = slot[j]
+				j--
+			}
+			slot[j+1] = ev
+		}
+	}
+	w.draining = true
+	w.slotIdx = idx
+	w.di = 0
+	return true
+}
+
+// runWheel drains events at or before limit until none remain or Stop is
+// called. Each armed slot is fired as a batch — one tick's events run
+// without re-consulting the wheel levels in between. Drain state survives
+// across calls, so a RunUntil that stops mid-slot resumes exactly where it
+// left off.
+func (s *Scheduler) runWheel(limit Time) {
+	w := &s.w
+	for {
+		if !w.draining {
+			if !s.wheelRefill(limit) {
+				return
+			}
+		}
+		// The slot and drain cursor live in locals; only a firing callback
+		// can move them (drainInsert appends, regrows, or compacts), so
+		// they are published before each fn() and reloaded after — not
+		// re-read per event.
+		slot := w.slots[0][w.slotIdx]
+		di := w.di
+		for {
+			if di >= len(slot) {
+				w.slots[0][w.slotIdx] = slot[:0]
+				w.occ[0][w.slotIdx>>6] &^= 1 << uint(w.slotIdx&63)
+				w.draining = false
+				w.di = 0
+				break
+			}
+			ev := slot[di]
+			if ev.at > limit {
+				w.di = di
+				return
+			}
+			di++
+			if ev.canceled {
+				s.release(ev)
+				continue
+			}
+			at, fn := ev.at, ev.fn
+			// Recycle before running, matching the heap engine: fn may
+			// schedule and reuse this node immediately.
+			s.release(ev)
+			s.now = at
+			s.executed++
+			w.di = di
+			fn()
+			if s.stopped {
+				return
+			}
+			di = w.di
+			slot = w.slots[0][w.slotIdx]
+		}
+	}
+}
+
+// wheelRefill advances the cursor to the next occupied tick <= limit,
+// cascading level boundaries as it crosses them, and arms a drain. Returns
+// false when every pending event is beyond limit (the cursor is never
+// advanced past limit's tick, so later inserts at >= limit still land ahead
+// of it).
+func (s *Scheduler) wheelRefill(limit Time) bool {
+	w := &s.w
+	tickLimit := int64(limit) >> tickShift
+	for {
+		if idx := occNext(&w.occ[0], int(w.cur&(wheelSlots-1))); idx >= 0 {
+			tick := (w.cur &^ (wheelSlots - 1)) | int64(idx)
+			if tick > tickLimit {
+				return false
+			}
+			w.cur = tick
+			if s.startDrain(idx) {
+				return true
+			}
+			continue
+		}
+		c1 := int((w.cur >> levelBits) & (wheelSlots - 1))
+		if idx := occNext(&w.occ[1], c1+1); idx >= 0 {
+			b := (w.cur &^ (span(1) - 1)) | int64(idx)<<levelBits
+			if b > tickLimit {
+				return false
+			}
+			w.cur = b
+			s.cascade(1, idx)
+			continue
+		}
+		c2 := int((w.cur >> (2 * levelBits)) & (wheelSlots - 1))
+		if idx := occNext(&w.occ[2], c2+1); idx >= 0 {
+			b := (w.cur &^ (span(2) - 1)) | int64(idx)<<(2*levelBits)
+			if b > tickLimit {
+				return false
+			}
+			w.cur = b
+			s.cascade(2, idx)
+			continue
+		}
+		c3 := int((w.cur >> (3 * levelBits)) & (wheelSlots - 1))
+		if idx := occNext(&w.occ[3], c3+1); idx >= 0 {
+			b := (w.cur &^ (span(3) - 1)) | int64(idx)<<(3*levelBits)
+			if b > tickLimit {
+				return false
+			}
+			w.cur = b
+			s.cascade(3, idx)
+			continue
+		}
+		// Wheel empty: the residency invariant means no occupied slot can
+		// sit behind any level's cursor, so only the spill remains.
+		if w.spillTombs > 0 {
+			s.spillSweep()
+		}
+		if len(w.spill) == 0 {
+			return false
+		}
+		head := w.spill[0]
+		htick := int64(head.at) >> tickShift
+		if htick > tickLimit {
+			return false
+		}
+		w.cur = htick
+		s.migrateSpill()
+	}
+}
+
+// cascade empties slot idx of the given level, reinserting its live events
+// relative to the new cursor. Every reinsertion lands at a strictly lower
+// level (the slot covers span(level-1) ticks starting at the new cursor),
+// so reusing the emptied slot's backing array is safe.
+func (s *Scheduler) cascade(level, idx int) {
+	w := &s.w
+	slot := w.slots[level][idx]
+	w.slots[level][idx] = slot[:0]
+	w.occ[level][idx>>6] &^= 1 << uint(idx&63)
+	for _, ev := range slot {
+		if ev.canceled {
+			s.release(ev)
+			continue
+		}
+		w.put(ev, int64(ev.at)>>tickShift)
+	}
+}
+
+// migrateSpill moves the sorted prefix of the spill list that now fits
+// inside the wheel horizon into the wheel. Called with the cursor on the
+// spill head's tick, so the prefix is non-empty unless it was all
+// tombstones.
+func (s *Scheduler) migrateSpill() {
+	w := &s.w
+	horizon := (w.cur &^ (span(3) - 1)) + span(3)
+	n := 0
+	for n < len(w.spill) && int64(w.spill[n].at)>>tickShift < horizon {
+		n++
+	}
+	for i := 0; i < n; i++ {
+		ev := w.spill[i]
+		if ev.canceled {
+			s.release(ev)
+			w.spillTombs--
+			continue
+		}
+		w.put(ev, int64(ev.at)>>tickShift)
+	}
+	m := copy(w.spill, w.spill[n:])
+	for i := m; i < len(w.spill); i++ {
+		w.spill[i] = nil
+	}
+	w.spill = w.spill[:m]
+}
+
+// spillSweep compacts canceled events out of the spill list.
+func (s *Scheduler) spillSweep() {
+	w := &s.w
+	live := w.spill[:0]
+	for _, ev := range w.spill {
+		if ev.canceled {
+			s.release(ev)
+		} else {
+			live = append(live, ev)
+		}
+	}
+	for i := len(live); i < len(w.spill); i++ {
+		w.spill[i] = nil
+	}
+	w.spill = live
+	w.spillTombs = 0
+}

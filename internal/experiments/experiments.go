@@ -32,6 +32,9 @@ type Opts struct {
 	// GOMAXPROCS, 1 forces the serial reference path. Results and log
 	// lines are identical for every value — see internal/runner.
 	Workers int
+	// Engine selects the scheduler engine ("", "wheel" or "heap") for
+	// every run; results are byte-identical either way.
+	Engine string
 	// Log, when non-nil, receives progress lines.
 	Log func(format string, args ...any)
 }
@@ -202,6 +205,7 @@ func (o *Opts) paperConfig(base eventq.Time) netsim.Config {
 
 // run executes one configuration, logging a one-line summary.
 func (o *Opts) run(label string, cfg netsim.Config) *netsim.Results {
+	cfg.Engine = o.Engine
 	r := netsim.Build(cfg).Run()
 	o.logf("%-40s %s", label, r)
 	return r
@@ -231,7 +235,9 @@ func bothArms(points []point, label string, cfg netsim.Config) []point {
 // order, so output is byte-identical for every worker count.
 func (o *Opts) runPoints(points []point) []*netsim.Results {
 	results := runner.Map(o.Workers, len(points), func(i int) *netsim.Results {
-		return netsim.Build(points[i].cfg).Run()
+		cfg := points[i].cfg
+		cfg.Engine = o.Engine
+		return netsim.Build(cfg).Run()
 	})
 	for i, r := range results {
 		o.logf("%-40s %s", points[i].label, r)

@@ -462,6 +462,77 @@ func (e *ep) Rearm(s *eventq.Scheduler) {
 	assertRule(t, fs, "own-leak", 0)
 }
 
+// Timer handles routed through slot arrays — the timing-wheel pattern: a
+// handle stored into a slot-indexed table is discharged (the table owns
+// it), and a helper that performs the store is derived interprocedurally,
+// while a slot-occupied path that silently drops the new handle leaks it.
+func TestOwnTimerHandleThroughSlotArray(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixownslot", "fixownslot.go", `
+package fixownslot
+
+import "dibs/internal/eventq"
+
+type table struct {
+	slots [16]eventq.Timer
+}
+
+// place stores the handle into its slot; callers' handles are discharged
+// interprocedurally via the derived stores-owned summary.
+func (tb *table) place(i int, t eventq.Timer) {
+	tb.slots[i] = t
+}
+
+// Arm stores directly into the slot array on one path and through the
+// helper on the other: discharged everywhere, no findings.
+func (tb *table) Arm(s *eventq.Scheduler, i int, direct bool) {
+	t := s.After(5*eventq.Microsecond, func() {})
+	if direct {
+		tb.slots[i] = t
+		return
+	}
+	tb.place(i, t)
+}
+
+// ArmLossy drops the fresh handle when the slot is occupied: the timer
+// can never be canceled — a leak on that path.
+func (tb *table) ArmLossy(s *eventq.Scheduler, i int) {
+	t := s.After(5*eventq.Microsecond, func() {})
+	if tb.slots[i].Pending() {
+		return
+	}
+	tb.slots[i] = t
+}
+`)
+	assertRule(t, fs, "own-leak", 1)
+	for _, f := range fs {
+		if f.Rule == "own-leak" && !strings.Contains(f.Msg, "timer handle t") {
+			t.Errorf("slot-array leak should name the timer handle: %s", f.Msg)
+		}
+	}
+}
+
+// An annotated sink (a func-typed hand-off the summaries cannot derive)
+// consumes the handle: //dibslint:owns on the declaration discharges the
+// caller's path.
+func TestOwnTimerAnnotatedSlotSink(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixownslotx", "fixownslotx.go", `
+package fixownslotx
+
+import "dibs/internal/eventq"
+
+type registry interface {
+	//dibslint:owns the registry retains the handle until expiry
+	Adopt(t eventq.Timer)
+}
+
+func Hand(s *eventq.Scheduler, r registry) {
+	t := s.After(7*eventq.Microsecond, func() {})
+	r.Adopt(t)
+}
+`)
+	assertRule(t, fs, "own-leak", 0)
+}
+
 // --- perimeter ---
 
 func TestOwnRulesOffOutsideSimPackages(t *testing.T) {

@@ -201,6 +201,11 @@ type Config struct {
 	BufferSamplePeriod eventq.Time
 	// HostQueuePkts is the host NIC queue depth.
 	HostQueuePkts int
+	// Engine selects the scheduler's internal priority structure: "wheel"
+	// (default, also the empty string) or "heap". The two engines realize
+	// the same (at, seq) event order, so results are byte-identical; the
+	// heap is kept as a differential-testing reference.
+	Engine string
 	// ForwardJitter adds a uniform per-packet delivery jitter in
 	// [0, ForwardJitter) on every link (FIFO order preserved), modeling
 	// variable switch pipeline latency. Without it, identical self-clocked
@@ -317,6 +322,9 @@ func (c *Config) Validate() {
 	}
 	if c.HostQueuePkts < 1 {
 		panic("netsim: host queue must hold >= 1 packet")
+	}
+	if _, err := eventq.ParseEngine(c.Engine); err != nil {
+		panic(err.Error())
 	}
 	switch c.Topo {
 	case TopoFatTree, TopoClick, TopoLinear, TopoJellyfish, TopoHyperX:

@@ -65,9 +65,10 @@ func (r portRef) Receive(p *packet.Packet, port int) {
 // Build constructs the network described by cfg.
 func Build(cfg Config) *Network {
 	cfg.Validate()
+	engine, _ := eventq.ParseEngine(cfg.Engine) // Validate already vetted it
 	n := &Network{
 		Cfg:   cfg,
-		Sched: eventq.NewScheduler(),
+		Sched: eventq.NewSchedulerEngine(engine),
 		Pool:  packet.NewPool(),
 	}
 	n.Topo = buildTopo(cfg)

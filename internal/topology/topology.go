@@ -89,10 +89,19 @@ type Topology struct {
 
 	hostPortMask []uint64 // per node: bitmap of ports that face a host
 
-	// fib[node][hostIdx] = shortest-path output ports toward that host.
-	fib [][][]uint8
-	// dist[node][hostIdx] = hop distance (switch hops + final host link).
-	dist [][]int16
+	// The FIB and distance tables are flat, host-major arrays rather than
+	// per-(node,host) slices: a K=8 fat-tree has 208 nodes × 128 hosts =
+	// 26k entries, and building one simulator per benchmark iteration made
+	// those little slices the single largest allocation source in the
+	// whole run. Entry (node, hostIdx) lives at hostIdx*numNodes+node.
+	//
+	// fibDat holds every ECMP next-hop set back to back; entry i spans
+	// fibDat[fibOff[i]:fibOff[i+1]].
+	fibOff []int32
+	fibDat []uint8
+	// dist holds hop distance (switch hops + final host link), -1 when
+	// unreachable.
+	dist []int16
 }
 
 // builder accumulates nodes and links before Finalize.
@@ -157,29 +166,34 @@ func (b *builder) finalize() *Topology {
 }
 
 // computeRoutes runs one BFS per destination host over the whole graph and
-// records, for every node, the set of output ports on shortest paths.
+// records, for every node, the set of output ports on shortest paths. All
+// results go into three flat arrays (see the field comments): the loop
+// visits (host, node) pairs in exactly index order, so next-hop sets are
+// emitted contiguously and the offset table is built as a running prefix
+// sum — no per-pair allocations.
 func (t *Topology) computeRoutes() {
 	n := len(t.nodes)
 	h := len(t.hosts)
-	t.fib = make([][][]uint8, n)
-	t.dist = make([][]int16, n)
-	for i := range t.fib {
-		t.fib[i] = make([][]uint8, h)
-		t.dist[i] = make([]int16, h)
-		for j := range t.dist[i] {
-			t.dist[i][j] = -1
-		}
+	t.dist = make([]int16, n*h)
+	for i := range t.dist {
+		t.dist[i] = -1
 	}
+	t.fibOff = make([]int32, n*h+1)
+	// Most nodes have one next-hop per destination; hosts and ECMP fan-out
+	// change that, but n*h is the right starting capacity either way.
+	t.fibDat = make([]uint8, 0, n*h)
 	queue := make([]packet.NodeID, 0, n)
 	for hi, dst := range t.hosts {
+		base := hi * n
+		dist := t.dist[base : base+n]
 		// BFS from the destination host; dist counts links to dst.
 		queue = queue[:0]
 		queue = append(queue, dst)
-		t.dist[dst][hi] = 0
+		dist[dst] = 0
 		for len(queue) > 0 {
 			cur := queue[0]
 			queue = queue[1:]
-			d := t.dist[cur][hi]
+			d := dist[cur]
 			for _, p := range t.ports[cur] {
 				// Hosts do not forward transit traffic: only the
 				// destination itself may be traversed "through" a host,
@@ -187,25 +201,25 @@ func (t *Topology) computeRoutes() {
 				if t.nodes[cur].Kind == Host && cur != dst {
 					continue
 				}
-				if t.dist[p.Peer][hi] == -1 {
-					t.dist[p.Peer][hi] = d + 1
+				if dist[p.Peer] == -1 {
+					dist[p.Peer] = d + 1
 					queue = append(queue, p.Peer)
 				}
 			}
 		}
 		// Next hops: ports leading to a strictly closer neighbor.
 		for id := 0; id < n; id++ {
-			if t.dist[id][hi] <= 0 {
-				continue // unreachable or the destination itself
-			}
-			for pi, p := range t.ports[id] {
-				if t.nodes[p.Peer].Kind == Host && p.Peer != dst {
-					continue
+			if dist[id] > 0 {
+				for pi, p := range t.ports[id] {
+					if t.nodes[p.Peer].Kind == Host && p.Peer != dst {
+						continue
+					}
+					if dist[p.Peer] == dist[id]-1 {
+						t.fibDat = append(t.fibDat, uint8(pi))
+					}
 				}
-				if t.dist[p.Peer][hi] == t.dist[id][hi]-1 {
-					t.fib[id][hi] = append(t.fib[id][hi], uint8(pi))
-				}
 			}
+			t.fibOff[base+id+1] = int32(len(t.fibDat))
 		}
 	}
 }
@@ -238,15 +252,17 @@ func (t *Topology) HostIndex(id packet.NodeID) int {
 }
 
 // NextHops returns the ECMP set of output ports at node leading along
-// shortest paths to dst (a host). Empty when unreachable.
+// shortest paths to dst (a host). Empty when unreachable. The slice aliases
+// the shared FIB backing and must not be modified.
 func (t *Topology) NextHops(node, dst packet.NodeID) []uint8 {
-	return t.fib[node][t.hostIdx[dst]]
+	i := int(t.hostIdx[dst])*len(t.nodes) + int(node)
+	return t.fibDat[t.fibOff[i]:t.fibOff[i+1]]
 }
 
 // Distance returns the hop count (number of links) from node to host dst,
 // or -1 if unreachable.
 func (t *Topology) Distance(node, dst packet.NodeID) int {
-	return int(t.dist[node][t.hostIdx[dst]])
+	return int(t.dist[int(t.hostIdx[dst])*len(t.nodes)+int(node)])
 }
 
 // HostPortMask returns the bitmap of host-facing ports at node: bit i set
@@ -416,7 +432,7 @@ func (t *Topology) connected() bool {
 		return true
 	}
 	for id := range t.nodes {
-		if t.dist[id][0] < 0 {
+		if t.dist[id] < 0 { // host index 0 occupies the first n entries
 			return false
 		}
 	}

@@ -1,16 +1,19 @@
 #!/usr/bin/env bash
 # bench.sh — measure the simulator's performance baseline.
 #
-# Runs BenchmarkSimulatorThroughput, BenchmarkIncastBurst, BenchmarkPacketPool
-# and BenchmarkNextHops (via go test), a fixed fig08+fig09 pass with a heap
-# summary, and the full `-all -scale 0.1` experiments workload, writing
-# everything to a tracked JSON baseline.
+# Runs BenchmarkSimulatorThroughput under both scheduler engines (wheel and
+# heap — their in-process ratio is the noise-robust number), plus
+# BenchmarkIncastBurst, BenchmarkPacketPool and BenchmarkNextHops (via go
+# test), a fixed fig08+fig09 pass with a heap summary, and the full
+# `-all -scale 0.1` experiments workload, writing everything to a tracked
+# JSON baseline.
 #
-#   scripts/bench.sh                       # print, write BENCH_5.json
-#   scripts/bench.sh -out BENCH_6.json     # write a new baseline
-#   scripts/bench.sh -compare BENCH_5.json # exit non-zero on >20% events/sec
-#                                          # loss, >20% allocs/op growth, or
-#                                          # any allocation in the packet pool
+#   scripts/bench.sh                       # print, write BENCH_7.json
+#   scripts/bench.sh -out BENCH_8.json     # write a new baseline
+#   scripts/bench.sh -compare BENCH_7.json # exit non-zero on >20% events/sec
+#                                          # loss, >20% allocs/op growth,
+#                                          # >0.9 allocs per packet, or any
+#                                          # allocation in the packet pool
 #   scripts/bench.sh -skip-all ...         # skip the slow -all pass
 #
 # Pass -compare (without -out) in CI to gate on the checked-in baseline.
@@ -19,7 +22,7 @@ cd "$(dirname "$0")/.."
 
 args=("$@")
 if [ $# -eq 0 ]; then
-    args=(-out BENCH_5.json)
+    args=(-out BENCH_7.json)
 fi
 
 exec go run ./cmd/bench "${args[@]}"
