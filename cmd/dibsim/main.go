@@ -56,6 +56,7 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		engine   = flag.String("engine", "wheel", "scheduler engine: wheel|heap (results are byte-identical; heap is the differential reference)")
+		shards   = flag.Int("shards", 1, "conservative-PDES scheduler shards within one run (results are byte-identical for any count; >1 forbids -events)")
 	)
 	flag.Parse()
 
@@ -87,6 +88,7 @@ func main() {
 			qps: *qps, degree: *degree, respKB: *respKB, bgIAms: *bgIAms,
 			duration: *duration, drain: *drain, seed: *seed, fairN: *fairN,
 			pfc: *pfc, spray: *spray, delack: *delack, engine: *engine,
+			shards: *shards,
 		})
 	}
 	if *events != "" {
@@ -139,6 +141,7 @@ type flags struct {
 	engine                      string
 	k, oversub, buffer, markAt  int
 	ttl, dupack, degree, fairN  int
+	shards                      int
 	respKB                      int64
 	qps, bgIAms                 float64
 	duration, drain             time.Duration
@@ -239,6 +242,7 @@ func applyFlags(cfg *dibs.Config, f flags) {
 		fmt.Fprintf(os.Stderr, "unknown engine %q\n", f.engine)
 		os.Exit(2)
 	}
+	cfg.Shards = f.shards
 }
 
 func runIt(cfg dibs.Config, confOut, events string) {

@@ -14,28 +14,46 @@ func engines(b *testing.B, bench func(b *testing.B, s *Scheduler)) {
 
 // BenchmarkSchedulePop measures the basic push/pop cycle with a standing
 // population of pending events, the common steady-state shape of a packet
-// simulation (one pop schedules roughly one push).
+// simulation (one pop schedules roughly one push). The delay profiles span
+// the wheel's easy and hard regimes: "tick" delays (~1 event per slot
+// drain), "subtick" delays inside the live 1024ns tick (the calendar-split
+// sub-bucket path: every reschedule lands in the tick being drained), and
+// "subbucket" delays inside a single 128ns sub-bucket (the residual
+// binary-insert worst case).
 func BenchmarkSchedulePop(b *testing.B) {
-	engines(b, func(b *testing.B, s *Scheduler) {
-		rng := rand.New(rand.NewSource(1))
-		b.ReportAllocs()
-		remaining := b.N
-		var chain func()
-		chain = func() {
-			if remaining <= 0 {
-				return
-			}
-			remaining--
-			s.After(Time(rng.Intn(1000)+1), chain)
-		}
-		// Standing population of 1024 in-flight events.
-		for i := 0; i < 1024 && remaining > 0; i++ {
-			remaining--
-			s.After(Time(rng.Intn(1000)+1), chain)
-		}
-		b.ResetTimer()
-		s.Run()
-	})
+	profiles := []struct {
+		name string
+		span int // delays drawn from [1, span]
+	}{
+		{"tick", 1000},
+		{"subtick", 1023},
+		{"subbucket", 127},
+	}
+	for _, p := range profiles {
+		span := p.span
+		b.Run(p.name, func(b *testing.B) {
+			engines(b, func(b *testing.B, s *Scheduler) {
+				rng := rand.New(rand.NewSource(1))
+				b.ReportAllocs()
+				remaining := b.N
+				var chain func()
+				chain = func() {
+					if remaining <= 0 {
+						return
+					}
+					remaining--
+					s.After(Time(rng.Intn(span)+1), chain)
+				}
+				// Standing population of 1024 in-flight events.
+				for i := 0; i < 1024 && remaining > 0; i++ {
+					remaining--
+					s.After(Time(rng.Intn(span)+1), chain)
+				}
+				b.ResetTimer()
+				s.Run()
+			})
+		})
+	}
 }
 
 // BenchmarkCancelHeavy models retransmit timers: almost every scheduled

@@ -105,12 +105,17 @@ func ParseEngine(s string) (Engine, error) {
 	}
 }
 
-// event is a scheduled callback. seq breaks ties between events at the same
-// virtual instant so that scheduling order is execution order. gen counts
-// how many times the node has been recycled through the freelist; a Timer
-// carrying an older gen is stale and operates as a no-op.
+// event is a scheduled callback. pri orders events within an instant by an
+// explicit caller-chosen key (0 for ordinary events; link deliveries carry a
+// per-link key so same-instant arrivals order by link identity rather than
+// scheduling history — the property that makes sharded runs byte-identical
+// to sequential ones). seq breaks the remaining ties so that scheduling
+// order is execution order. gen counts how many times the node has been
+// recycled through the freelist; a Timer carrying an older gen is stale and
+// operates as a no-op.
 type event struct {
 	at       Time
+	pri      int64
 	seq      uint64
 	fn       func()
 	gen      uint32
@@ -259,10 +264,20 @@ func (s *Scheduler) Executed() uint64 { return s.executed }
 // At schedules fn to run at absolute virtual time at. Scheduling in the past
 // panics: that is always a simulator bug, not a recoverable condition.
 func (s *Scheduler) At(at Time, fn func()) Timer {
+	return s.AtPri(at, 0, fn)
+}
+
+// AtPri is At with an explicit same-instant ordering key: events at one
+// virtual instant execute in ascending pri, and by scheduling order within
+// equal pri. Ordinary events use pri 0 (and so run before any same-instant
+// link delivery); link deliveries pass a stable per-link key so that the
+// execution order of same-instant arrivals is a function of the topology,
+// not of which scheduler shard queued them first.
+func (s *Scheduler) AtPri(at Time, pri int64, fn func()) Timer {
 	if at < s.now {
 		panic(fmt.Sprintf("eventq: scheduling at %v before now %v", at, s.now))
 	}
-	ev := s.alloc(at, fn)
+	ev := s.alloc(at, pri, fn)
 	if s.engine == EngineHeap {
 		s.push(ev)
 	} else {
@@ -293,7 +308,7 @@ func (s *Scheduler) Stop() { s.stopped = true }
 // Nodes are allocated in blocks: the freelist never shrinks, so a growing
 // simulation would otherwise pay one allocation per unit of peak pending
 // events while it warms up.
-func (s *Scheduler) alloc(at Time, fn func()) *event {
+func (s *Scheduler) alloc(at Time, pri int64, fn func()) *event {
 	n := len(s.free)
 	if n == 0 {
 		block := make([]event, 64)
@@ -306,7 +321,7 @@ func (s *Scheduler) alloc(at Time, fn func()) *event {
 	ev := s.free[n-1]
 	s.free[n-1] = nil
 	s.free = s.free[:n-1]
-	ev.at, ev.seq, ev.fn = at, s.seq, fn
+	ev.at, ev.pri, ev.seq, ev.fn = at, pri, s.seq, fn
 	s.seq++
 	return ev
 }
@@ -322,12 +337,16 @@ func (s *Scheduler) release(ev *event) {
 	s.free = append(s.free, ev)
 }
 
-// less orders events by (at, seq): time first, scheduling order within an
-// instant. seq is unique, so the order is total and runs are deterministic
-// regardless of engine or intermediate layout.
+// less orders events by (at, pri, seq): time first, then the explicit
+// same-instant key, then scheduling order. seq is unique, so the order is
+// total and runs are deterministic regardless of engine or intermediate
+// layout.
 func less(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
+	}
+	if a.pri != b.pri {
+		return a.pri < b.pri
 	}
 	return a.seq < b.seq
 }

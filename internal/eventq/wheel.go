@@ -41,14 +41,30 @@ type wheel struct {
 	// slots[L][i] is non-empty (tombstones count as occupancy until
 	// reclaimed). Lets the cursor skip empty regions 64 slots at a time.
 	occ [numLevels][wheelSlots / 64]uint64
-	// spill holds events beyond the wheel horizon, sorted by (at, seq).
+	// spill holds events beyond the wheel horizon, sorted by (at, pri, seq).
 	spill      []*event
 	spillTombs int
-	// Drain state: when draining, level-0 slot slotIdx is sorted and
-	// events [0:di) have been fired or reclaimed.
+	// slotArena is the tail of the current slot-storage block: first-touch
+	// slot slices carve their initial capacity from it in bulk, so warming
+	// up a wheel costs one allocation per slotArenaSlots touched slots
+	// rather than one per slot. A slot outgrowing slotInitCap falls back to
+	// ordinary append growth.
+	slotArena []*event
+	// Drain state. The live tick is split calendar-queue style into
+	// subCount sub-buckets of (1<<subShift) ns each: startDrain distributes
+	// the armed slot's events by sub-tick address, and each sub-bucket is
+	// compacted and sorted only when the drain reaches it (subArmed). This
+	// keeps the sub-tick churn worst case — callbacks rescheduling into the
+	// live tick — an O(1) append into a later sub-bucket instead of an
+	// O(slot) memmove into one big sorted list. When draining, level-0 slot
+	// slotIdx is distributed, sub-buckets [0:curSub) are exhausted, and
+	// events [0:di) of sub-bucket curSub have been fired or reclaimed.
 	draining bool
 	slotIdx  int
+	curSub   int
+	subArmed bool
 	di       int
+	subs     [subCount][]*event
 }
 
 const (
@@ -56,6 +72,18 @@ const (
 	levelBits  = 8
 	wheelSlots = 1 << levelBits
 	numLevels  = 4
+
+	// Live-tick calendar split: 8 sub-buckets of 128 ns.
+	subBits  = 3
+	subCount = 1 << subBits
+	subShift = tickShift - subBits
+	subMask  = subCount - 1
+
+	// First-touch slot storage: each untouched slot starts with capacity
+	// slotInitCap carved from an arena block covering slotArenaSlots slots
+	// (8 KB per block).
+	slotInitCap    = 16
+	slotArenaSlots = 64
 )
 
 // span returns the number of ticks one slot of the given level covers times
@@ -122,8 +150,14 @@ func (w *wheel) put(ev *event, tick int64) {
 	lst := w.slots[level][idx]
 	if cap(lst) == 0 {
 		// Skip the 1-2-4 growth steps: with ~1µs ticks a live slot
-		// typically collects a handful of events before draining.
-		lst = make([]*event, 0, 16)
+		// typically collects a handful of events before draining. The
+		// initial capacity is carved from a shared arena block, amortizing
+		// the first-touch cost across slotArenaSlots slots.
+		if len(w.slotArena) < slotInitCap {
+			w.slotArena = make([]*event, slotArenaSlots*slotInitCap)
+		}
+		lst = w.slotArena[:0:slotInitCap]
+		w.slotArena = w.slotArena[slotInitCap:]
 	}
 	w.slots[level][idx] = append(lst, ev)
 	w.occ[level][idx>>6] |= 1 << uint(idx&63)
@@ -149,53 +183,104 @@ func (w *wheel) spillInsert(ev *event) {
 	ev.index = inSpillIdx
 }
 
-// drainInsert places ev into the level-0 slot currently being drained, at
-// its (at, seq) position behind the drain cursor. Since ev.at >= s.now and
-// ev.seq is the largest yet issued, the position is always >= di, so the
-// event fires in this same drain pass, after every earlier same-instant
-// event — the FIFO-within-instant guarantee.
+// drainInsert places ev into the live tick currently being drained. An
+// event addressed to a later sub-bucket is a plain append — armSub sorts
+// that bucket when the drain reaches it. An event addressed to the current
+// (or, after a mid-drain RunUntil moved the clock backwards relative to the
+// pending tail, an earlier) sub-bucket binary-inserts into the current
+// bucket at its (at, pri, seq) position behind the drain cursor: since
+// ev.at >= s.now, the position is always >= di, so the event fires in this
+// same drain pass, after every earlier same-instant event — the
+// FIFO-within-instant guarantee. The clamp into curSub preserves global
+// order because every event in a later sub-bucket has a strictly larger
+// sub-tick address, hence a strictly larger at.
 //
-//dibslint:owns the live slot keeps the node until the drain reaches it
+//dibslint:owns the live sub-bucket keeps the node until the drain reaches it
 func (w *wheel) drainInsert(ev *event) {
-	slot := w.slots[0][w.slotIdx]
-	if w.di > 32 && w.di*2 >= len(slot) {
+	j := int(int64(ev.at)>>subShift) & subMask
+	if j > w.curSub {
+		lst := w.subs[j]
+		if cap(lst) == 0 {
+			lst = make([]*event, 0, 16)
+		}
+		w.subs[j] = append(lst, ev)
+		ev.index = inWheelIdx
+		return
+	}
+	sub := w.subs[w.curSub]
+	if w.di > 32 && w.di*2 >= len(sub) {
 		// Trim the fired prefix so a workload that keeps scheduling into
-		// the live tick (sub-tick delays) cannot grow the slot without
-		// bound. Amortized O(1): each trimmed entry was one fired event.
-		n := copy(slot, slot[w.di:])
-		slot = slot[:n]
-		w.slots[0][w.slotIdx] = slot
+		// the live sub-bucket cannot grow it without bound. Amortized O(1):
+		// each trimmed entry was one fired event.
+		n := copy(sub, sub[w.di:])
+		sub = sub[:n]
+		w.subs[w.curSub] = sub
 		w.di = 0
 	}
-	lo, hi := w.di, len(slot)
+	lo, hi := w.di, len(sub)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
-		if less(ev, slot[mid]) {
+		if less(ev, sub[mid]) {
 			hi = mid
 		} else {
 			lo = mid + 1
 		}
 	}
-	slot = append(slot, nil)
-	copy(slot[lo+1:], slot[lo:])
-	slot[lo] = ev
-	w.slots[0][w.slotIdx] = slot
+	sub = append(sub, nil)
+	copy(sub[lo+1:], sub[lo:])
+	sub[lo] = ev
+	w.subs[w.curSub] = sub
 	ev.index = inWheelIdx
 }
 
-// startDrain compacts tombstones out of level-0 slot idx, sorts it by
-// (at, seq) if a cascade left it out of order, and arms the drain state.
-// Returns false if the slot held only tombstones (it is emptied and its
-// occupancy bit cleared).
+// startDrain distributes level-0 slot idx into the live-tick sub-buckets,
+// releasing tombstones along the way, and arms the drain state. Returns
+// false if the slot held only tombstones (it is emptied and its occupancy
+// bit cleared). Sorting is deferred per sub-bucket to armSub.
 func (s *Scheduler) startDrain(idx int) bool {
 	w := &s.w
 	slot := w.slots[0][idx]
-	// One pass does double duty: squeeze out canceled events and check
-	// whether the survivors are already (at, seq)-ordered — they are
-	// unless a cascade appended older-seq events behind direct inserts.
-	live := slot[:0]
-	sorted := true
+	live := 0
 	for _, ev := range slot {
+		if ev.canceled {
+			s.release(ev)
+			continue
+		}
+		j := int(int64(ev.at)>>subShift) & subMask
+		lst := w.subs[j]
+		if cap(lst) == 0 {
+			lst = make([]*event, 0, 16)
+		}
+		w.subs[j] = append(lst, ev)
+		live++
+	}
+	// Stale pointers beyond len are left in place: every node is owned by
+	// the scheduler for its whole lifetime (freelist discipline), so they
+	// pin nothing the freelist does not already keep alive.
+	w.slots[0][idx] = slot[:0]
+	if live == 0 {
+		w.occ[0][idx>>6] &^= 1 << uint(idx&63)
+		return false
+	}
+	w.draining = true
+	w.slotIdx = idx
+	w.curSub = 0
+	w.subArmed = false
+	w.di = 0
+	return true
+}
+
+// armSub compacts tombstones out of sub-bucket j and sorts it by
+// (at, pri, seq) if distribution or cascading left it out of order — it is
+// already ordered unless a cascade appended older-seq events behind direct
+// inserts. Slots are small and nearly sorted; insertion sort avoids the
+// closure allocation of sort.Slice.
+func (s *Scheduler) armSub(j int) {
+	w := &s.w
+	lst := w.subs[j]
+	live := lst[:0]
+	sorted := true
+	for _, ev := range lst {
 		if ev.canceled {
 			s.release(ev)
 			continue
@@ -205,32 +290,21 @@ func (s *Scheduler) startDrain(idx int) bool {
 		}
 		live = append(live, ev)
 	}
-	// Stale pointers beyond len are left in place: every node is owned by
-	// the scheduler for its whole lifetime (freelist discipline), so they
-	// pin nothing the freelist does not already keep alive.
-	slot = live
-	w.slots[0][idx] = slot
-	if len(slot) == 0 {
-		w.occ[0][idx>>6] &^= 1 << uint(idx&63)
-		return false
-	}
+	lst = live
+	w.subs[j] = lst
 	if !sorted {
-		// Slots are small and nearly sorted; insertion sort avoids the
-		// closure allocation of sort.Slice.
-		for i := 1; i < len(slot); i++ {
-			ev := slot[i]
-			j := i - 1
-			for j >= 0 && less(ev, slot[j]) {
-				slot[j+1] = slot[j]
-				j--
+		for i := 1; i < len(lst); i++ {
+			ev := lst[i]
+			k := i - 1
+			for k >= 0 && less(ev, lst[k]) {
+				lst[k+1] = lst[k]
+				k--
 			}
-			slot[j+1] = ev
+			lst[k+1] = ev
 		}
 	}
-	w.draining = true
-	w.slotIdx = idx
 	w.di = 0
-	return true
+	w.subArmed = true
 }
 
 // runWheel drains events at or before limit until none remain or Stop is
@@ -246,44 +320,53 @@ func (s *Scheduler) runWheel(limit Time) {
 				return
 			}
 		}
-		// The slot and drain cursor live in locals; only a firing callback
-		// can move them (drainInsert appends, regrows, or compacts), so
-		// they are published before each fn() and reloaded after — not
-		// re-read per event.
-		slot := w.slots[0][w.slotIdx]
-		di := w.di
-		for {
-			if di >= len(slot) {
-				w.slots[0][w.slotIdx] = slot[:0]
-				w.occ[0][w.slotIdx>>6] &^= 1 << uint(w.slotIdx&63)
-				w.draining = false
-				w.di = 0
-				break
+		for w.curSub < subCount {
+			if !w.subArmed {
+				s.armSub(w.curSub)
 			}
-			ev := slot[di]
-			if ev.at > limit {
-				w.di = di
-				return
-			}
-			di++
-			if ev.canceled {
+			// The sub-bucket and drain cursor live in locals; only a firing
+			// callback can move them (drainInsert appends, regrows, or
+			// compacts), so they are published before each fn() and
+			// reloaded after — not re-read per event.
+			sub := w.subs[w.curSub]
+			di := w.di
+			for {
+				if di >= len(sub) {
+					w.subs[w.curSub] = sub[:0]
+					w.subArmed = false
+					w.curSub++
+					w.di = 0
+					break
+				}
+				ev := sub[di]
+				if ev.at > limit {
+					w.di = di
+					return
+				}
+				di++
+				if ev.canceled {
+					s.release(ev)
+					continue
+				}
+				at, fn := ev.at, ev.fn
+				// Recycle before running, matching the heap engine: fn may
+				// schedule and reuse this node immediately.
 				s.release(ev)
-				continue
+				s.now = at
+				s.executed++
+				w.di = di
+				fn()
+				if s.stopped {
+					return
+				}
+				di = w.di
+				sub = w.subs[w.curSub]
 			}
-			at, fn := ev.at, ev.fn
-			// Recycle before running, matching the heap engine: fn may
-			// schedule and reuse this node immediately.
-			s.release(ev)
-			s.now = at
-			s.executed++
-			w.di = di
-			fn()
-			if s.stopped {
-				return
-			}
-			di = w.di
-			slot = w.slots[0][w.slotIdx]
 		}
+		w.occ[0][w.slotIdx>>6] &^= 1 << uint(w.slotIdx&63)
+		w.draining = false
+		w.curSub = 0
+		w.di = 0
 	}
 }
 

@@ -35,6 +35,9 @@ type Opts struct {
 	// Engine selects the scheduler engine ("", "wheel" or "heap") for
 	// every run; results are byte-identical either way.
 	Engine string
+	// Shards sets the conservative-PDES shard count for every run
+	// (<=1 sequential); results are byte-identical for any value.
+	Shards int
 	// Log, when non-nil, receives progress lines.
 	Log func(format string, args ...any)
 }
@@ -206,6 +209,7 @@ func (o *Opts) paperConfig(base eventq.Time) netsim.Config {
 // run executes one configuration, logging a one-line summary.
 func (o *Opts) run(label string, cfg netsim.Config) *netsim.Results {
 	cfg.Engine = o.Engine
+	cfg.Shards = o.Shards
 	r := netsim.Build(cfg).Run()
 	o.logf("%-40s %s", label, r)
 	return r
@@ -237,6 +241,7 @@ func (o *Opts) runPoints(points []point) []*netsim.Results {
 	results := runner.Map(o.Workers, len(points), func(i int) *netsim.Results {
 		cfg := points[i].cfg
 		cfg.Engine = o.Engine
+		cfg.Shards = o.Shards
 		return netsim.Build(cfg).Run()
 	})
 	for i, r := range results {

@@ -31,12 +31,17 @@ type Host struct {
 }
 
 // New creates a host. The NIC must be wired by the network builder.
-func New(id packet.NodeID) *Host {
-	return &Host{
-		ID:        id,
-		senders:   make(map[packet.FlowID]*transport.Sender),
-		receivers: make(map[packet.FlowID]*transport.Receiver),
-	}
+func New(id packet.NodeID) *Host { return new(Host).Init(id) }
+
+// Init prepares h — allocated by the caller, typically as one element of an
+// en-bloc slice covering every host in the topology — as the host with the
+// given id. Endpoint maps are allocated lazily on first Add*, so hosts that
+// only ever forward NIC traffic (or never see a flow at all) cost no map
+// allocations; Receive tolerates the nil maps (lookups on a nil map are
+// defined and miss).
+func (h *Host) Init(id packet.NodeID) *Host {
+	h.ID = id
+	return h
 }
 
 // Send enqueues a locally generated packet on the NIC. A refused packet is
@@ -72,10 +77,20 @@ func (h *Host) Receive(p *packet.Packet, port int) {
 }
 
 // AddSender registers the sending endpoint of a flow originating here.
-func (h *Host) AddSender(s *transport.Sender) { h.senders[s.Flow] = s }
+func (h *Host) AddSender(s *transport.Sender) {
+	if h.senders == nil {
+		h.senders = make(map[packet.FlowID]*transport.Sender)
+	}
+	h.senders[s.Flow] = s
+}
 
 // AddReceiver registers the receiving endpoint of a flow terminating here.
-func (h *Host) AddReceiver(r *transport.Receiver) { h.receivers[r.Flow] = r }
+func (h *Host) AddReceiver(r *transport.Receiver) {
+	if h.receivers == nil {
+		h.receivers = make(map[packet.FlowID]*transport.Receiver)
+	}
+	h.receivers[r.Flow] = r
+}
 
 // RemoveSender unregisters a completed flow's sender.
 func (h *Host) RemoveSender(flow packet.FlowID) { delete(h.senders, flow) }

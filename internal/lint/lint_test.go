@@ -405,6 +405,28 @@ func Fan(n int, fn func(int)) {
 	// cmd/ binaries are outside the determinism perimeter entirely.
 	fs = lintFixture(t, "dibs/cmd/fixpool", "fixpool.go", src)
 	assertRule(t, fs, "nondet-goroutine", 0)
+
+	// internal/pdes is the conservative shard driver: its barrier protocol
+	// is what makes goroutines safe there, so it is allowlisted too.
+	fs = lintFixture(t, "dibs/internal/pdes", "fixpool.go", src)
+	assertRule(t, fs, "nondet-goroutine", 0)
+
+	// The allowlist is a path suffix match on the whole element, not a
+	// grab-bag substring: a package merely mentioning pdes stays banned.
+	fs = lintFixture(t, "dibs/internal/notpdes", "fixpool.go", src)
+	if n := countRule(fs, "nondet-goroutine"); n == 0 {
+		t.Errorf("nondet-goroutine: dibs/internal/notpdes was not flagged; allowlist leaks")
+	}
+}
+
+func countRule(fs []Finding, rule string) int {
+	n := 0
+	for _, f := range fs {
+		if f.Rule == rule {
+			n++
+		}
+	}
+	return n
 }
 
 func TestPacketLiteralFlaggedInSimPackage(t *testing.T) {

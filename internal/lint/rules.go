@@ -111,16 +111,22 @@ func Nondeterminism() *Analyzer {
 
 // Concurrency keeps simulation packages single-threaded: a goroutine or a
 // sync primitive below the run boundary means event order can depend on the
-// Go scheduler, which breaks the one-seed-one-output contract. Parallelism
-// belongs in internal/runner, which fans out over whole runs and is the
-// only allowlisted package.
+// Go scheduler, which breaks the one-seed-one-output contract. Two packages
+// are allowlisted: internal/runner, which fans out over whole runs, and
+// internal/pdes, the conservative shard driver whose barrier protocol makes
+// event order independent of goroutine interleaving (the property the
+// cross-shard-count determinism test pins). Everything else stays banned —
+// determinism inside a shard is exactly what lets pdes exist at all.
 func Concurrency() *Analyzer {
 	return &Analyzer{
 		Rules: []RuleDoc{
-			{ID: "nondet-goroutine", Doc: "goroutine or sync primitive in a simulation package; runs are single-threaded — parallelize whole runs via internal/runner", Severity: SevError},
+			{ID: "nondet-goroutine", Doc: "goroutine or sync primitive in a simulation package; runs are single-threaded — parallelize whole runs via internal/runner or shard them via internal/pdes", Severity: SevError},
 		},
 		Check: func(l *Loader, pkg *Package, report func(token.Pos, string, string)) {
-			if !l.SimPackage(effectivePath(pkg)) || strings.HasSuffix(effectivePath(pkg), "internal/runner") {
+			switch p := effectivePath(pkg); {
+			case !l.SimPackage(p),
+				strings.HasSuffix(p, "internal/runner"),
+				strings.HasSuffix(p, "internal/pdes"):
 				return
 			}
 			for _, f := range pkg.Files {

@@ -6,6 +6,8 @@
 package metrics
 
 import (
+	"sort"
+
 	"dibs/internal/eventq"
 	"dibs/internal/packet"
 	"dibs/internal/stats"
@@ -170,12 +172,20 @@ func (c *Collector) OnDeliver(p *packet.Packet) {
 
 // FlowStarted registers a new flow. queryID is -1 for non-query flows.
 func (c *Collector) FlowStarted(id packet.FlowID, class FlowClass, bytes int64, queryID int) {
+	c.FlowStartedAt(id, class, bytes, queryID, c.sched.Now())
+}
+
+// FlowStartedAt is FlowStarted with an explicit start time. The sharded
+// engine uses it to register the full precomputed flow table in every
+// shard's collector before the run begins, so drop/detour class attribution
+// works in whichever shard a packet happens to be when the hook fires.
+func (c *Collector) FlowStartedAt(id packet.FlowID, class FlowClass, bytes int64, queryID int, at eventq.Time) {
 	c.flows[id] = &FlowInfo{
 		ID:      id,
 		Class:   class,
 		Bytes:   bytes,
 		QueryID: queryID,
-		Start:   c.sched.Now(),
+		Start:   at,
 	}
 }
 
@@ -209,8 +219,95 @@ func (c *Collector) FlowDone(id packet.FlowID) {
 
 // QueryStarted registers a query of nFlows responses.
 func (c *Collector) QueryStarted(queryID, nFlows int) {
-	c.queries[queryID] = &queryState{remaining: nFlows, start: c.sched.Now()}
+	c.QueryStartedAt(queryID, nFlows, c.sched.Now())
 }
+
+// QueryStartedAt is QueryStarted with an explicit start time, for
+// pre-registering the precomputed query table in every shard's collector.
+func (c *Collector) QueryStartedAt(queryID, nFlows int, at eventq.Time) {
+	c.queries[queryID] = &queryState{remaining: nFlows, start: at}
+}
+
+// MergeFrom folds another collector's measurements into c, the reduction
+// step after a sharded run. Every aggregate it touches is order-independent
+// across shards: counters sum, maxima take the max, samples append raw
+// values (percentiles sort internally), and per-flow/per-query state is
+// keyed so exactly one shard ever contributes the completion (a flow
+// finishes at its destination host's shard; all of a query's flows share
+// one destination). Iteration is over sorted keys so the merged in-memory
+// layout is itself deterministic.
+func (c *Collector) MergeFrom(o *Collector) {
+	c.QCTs.AddAll(o.QCTs.Values())
+	c.ShortBGFCTs.AddAll(o.ShortBGFCTs.Values())
+	c.BGFCTs.AddAll(o.BGFCTs.Values())
+	c.DetourCounts.AddAll(o.DetourCounts.Values())
+	for i := range c.Drops {
+		c.Drops[i] += o.Drops[i]
+	}
+	for i := range c.DropsByClass {
+		c.DropsByClass[i] += o.DropsByClass[i]
+		c.DetoursByClass[i] += o.DetoursByClass[i]
+	}
+	c.Detours += o.Detours
+	c.DeliveredData += o.DeliveredData
+	c.DeliveredAcks += o.DeliveredAcks
+	if o.MaxDetours > c.MaxDetours {
+		c.MaxDetours = o.MaxDetours
+		c.BestTrace = append(c.BestTrace[:0], o.BestTrace...)
+	}
+	c.DetourTimeline = append(c.DetourTimeline, o.DetourTimeline...)
+
+	// Indexed fill + sort: the iteration order of the source map never
+	// reaches the merged state.
+	flowIDs := make([]packet.FlowID, len(o.flows))
+	i := 0
+	for id := range o.flows {
+		flowIDs[i] = id
+		i++
+	}
+	sortFlowIDs(flowIDs)
+	for _, id := range flowIDs {
+		of := o.flows[id]
+		f, ok := c.flows[id]
+		if !ok {
+			cp := *of
+			c.flows[id] = &cp
+			continue
+		}
+		if of.End > f.End {
+			f.End = of.End
+		}
+	}
+
+	queryIDs := make([]int, len(o.queries))
+	i = 0
+	for id := range o.queries {
+		queryIDs[i] = id
+		i++
+	}
+	sortInts(queryIDs)
+	for _, id := range queryIDs {
+		oq := o.queries[id]
+		q, ok := c.queries[id]
+		if !ok {
+			cp := *oq
+			c.queries[id] = &cp
+			continue
+		}
+		if oq.remaining < q.remaining {
+			q.remaining = oq.remaining
+		}
+		if oq.end > q.end {
+			q.end = oq.end
+		}
+	}
+}
+
+func sortFlowIDs(ids []packet.FlowID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+func sortInts(ids []int) { sort.Ints(ids) }
 
 // Flow returns the record for id (nil when unknown).
 func (c *Collector) Flow(id packet.FlowID) *FlowInfo { return c.flows[id] }

@@ -212,6 +212,17 @@ type Config struct {
 	// DCTCP flows phase-lock on the deterministic marking threshold and
 	// share bandwidth unfairly. 0 disables.
 	ForwardJitter eventq.Time
+	// Shards partitions the network across that many conservative-PDES
+	// scheduler shards (DESIGN §10): pods stay together, cores spread
+	// round-robin, hosts follow their edge switch, and shards run
+	// lookahead-wide windows in parallel, exchanging cross-shard packets
+	// at window barriers. Results are byte-identical for every shard
+	// count. 0 or 1 selects the plain sequential engine; values above the
+	// switch count are clamped. Shards > 1 rejects the run-global
+	// instrumentation that would need cross-shard ordering (event/packet
+	// tracing, detour timeline, util/buffer monitors) and PFC (whose
+	// pause control loop is tighter than the link-delay lookahead).
+	Shards int
 }
 
 // DefaultConfig returns the paper's default setup (Tables 1 and 2): K=8
@@ -325,6 +336,25 @@ func (c *Config) Validate() {
 	}
 	if _, err := eventq.ParseEngine(c.Engine); err != nil {
 		panic(err.Error())
+	}
+	if c.Shards < 0 {
+		panic("netsim: Shards must be >= 0")
+	}
+	if c.Shards > 1 {
+		switch {
+		case c.TraceEvents:
+			panic("netsim: TraceEvents requires Shards <= 1 (the event log is a run-global ordered buffer)")
+		case c.TraceEveryNth > 0:
+			panic("netsim: packet tracing requires Shards <= 1")
+		case c.RecordTimeline:
+			panic("netsim: RecordTimeline requires Shards <= 1")
+		case c.UtilWindow > 0 || c.BufferSamplePeriod > 0:
+			panic("netsim: util/buffer monitors require Shards <= 1")
+		case c.PFC:
+			panic("netsim: PFC pause control is tighter than the link-delay lookahead; requires Shards <= 1")
+		case c.LinkDelay <= 0:
+			panic("netsim: Shards > 1 needs a positive LinkDelay lookahead")
+		}
 	}
 	switch c.Topo {
 	case TopoFatTree, TopoClick, TopoLinear, TopoJellyfish, TopoHyperX:

@@ -14,16 +14,18 @@ import (
 	"dibs/internal/topology"
 	"dibs/internal/trace"
 	"dibs/internal/transport"
-	"dibs/internal/workload"
 )
 
 // Network is a fully assembled simulation.
 type Network struct {
-	Cfg   Config
+	Cfg Config
+	// Sched is shard 0's scheduler — with Shards <= 1 (the default), the
+	// only one, i.e. the plain sequential engine.
 	Sched *eventq.Scheduler
 	Topo  *topology.Topology
-	// Pool is the per-run packet arena: every segment/ACK the transports
-	// emit is borrowed from it and returned on its terminal path.
+	// Pool is shard 0's packet arena: every segment/ACK the transports
+	// emit is borrowed from its shard's arena and returned on a terminal
+	// path (cross-shard hops re-home the packet, see packet.Wire).
 	Pool *packet.Pool
 	// Switches is indexed by node ID (nil entries for hosts); entries are
 	// *switching.Switch (output-queued) or *switching.CIOQSwitch per
@@ -40,11 +42,13 @@ type Network struct {
 
 	handlers []switching.Handler
 
+	// shards holds one scheduler/arena/collector group per PDES shard
+	// (exactly one with Shards <= 1); part maps every node ID to its
+	// shard.
+	shards []*shardCtx
+	part   []int
+
 	nextFlow packet.FlowID
-	// senders retains every sender for end-of-run stats aggregation.
-	senders []*transport.Sender
-	// longRx tracks fairness-experiment receivers for goodput accounting.
-	longRx []*transport.Receiver
 
 	// dataEmitted counts data packets handed to host NICs, for the
 	// trace-sampling stride.
@@ -66,25 +70,47 @@ func (r portRef) Receive(p *packet.Packet, port int) {
 func Build(cfg Config) *Network {
 	cfg.Validate()
 	engine, _ := eventq.ParseEngine(cfg.Engine) // Validate already vetted it
-	n := &Network{
-		Cfg:   cfg,
-		Sched: eventq.NewSchedulerEngine(engine),
-		Pool:  packet.NewPool(),
-	}
+	n := &Network{Cfg: cfg}
 	n.Topo = buildTopo(cfg)
-	n.Collector = metrics.NewCollector(n.Sched)
-	n.Collector.RecordTimeline = cfg.RecordTimeline
+
+	// Shard layout: always the same construction, with Shards <= 1 being
+	// the one-shard (sequential) special case. The partition is a pure
+	// function of the topology, so a given node sits in the same shard on
+	// every run.
+	nsh := 1
+	if cfg.Shards > 1 {
+		nsh = cfg.Shards
+		if nsw := len(n.Topo.Switches()); nsh > nsw {
+			nsh = nsw
+		}
+	}
+	n.part = n.Topo.Partition(nsh)
+	n.shards = make([]*shardCtx, nsh)
+	for i := range n.shards {
+		sc := &shardCtx{id: i, sched: eventq.NewSchedulerEngine(engine), pool: packet.NewPool()}
+		sc.coll = metrics.NewCollector(sc.sched)
+		sc.coll.RecordTimeline = cfg.RecordTimeline
+		n.shards[i] = sc
+	}
+	n.Sched = n.shards[0].sched
+	n.Pool = n.shards[0].pool
+	n.Collector = n.shards[0].coll
 
 	nn := n.Topo.NumNodes()
 	n.Switches = make([]switching.Node, nn)
 	n.HostsByID = make([]*host.Host, nn)
 	n.handlers = make([]switching.Handler, nn)
 
-	hooks := n.Collector.Hooks()
+	// Each shard's switches report into that shard's collector; the merge
+	// at results time is order-independent (see metrics.MergeFrom).
+	hooksBy := make([]*switching.Hooks, nsh)
+	for i, sc := range n.shards {
+		hooksBy[i] = sc.coll.Hooks()
+	}
 	if cfg.TraceEvents {
 		n.Trace = trace.NewRecorder(cfg.TraceEventCap)
-		inner := hooks
-		hooks = &switching.Hooks{
+		inner := hooksBy[0] // Validate pinned Shards <= 1 for tracing
+		hooksBy[0] = &switching.Hooks{
 			OnDrop: func(node packet.NodeID, p *packet.Packet, reason switching.DropReason) {
 				inner.OnDrop(node, p, reason)
 				n.Trace.Record(trace.Event{
@@ -101,22 +127,46 @@ func Build(cfg Config) *Network {
 			},
 		}
 	}
-	jitterRng := rng.New(cfg.Seed, "link/jitter")
-	jitterize := func(op *switching.OutPort) *switching.OutPort {
+	// finishPort applies the per-port policies every link needs: the
+	// port-local jitter stream (a function of (node, port) alone, so draws
+	// do not depend on execution interleaving), the link's same-instant
+	// delivery ordering key, and — when the far end lives in another
+	// shard — the outbox hand-off instead of local delivery.
+	finishPort := func(op *switching.OutPort, nid packet.NodeID, pi int, peer packet.NodeID, peerPort int) *switching.OutPort {
 		if cfg.ForwardJitter > 0 {
-			op.SetJitter(jitterRng, cfg.ForwardJitter)
+			op.SetJitter(rng.Derive2(uint64(cfg.Seed), "link/jitter", int(nid), pi), cfg.ForwardJitter)
+		}
+		op.SetDeliveryPri(1 + (int64(peer)<<16 | int64(peerPort)))
+		if n.part[nid] != n.part[peer] {
+			op.SetRemote(n.makeEmit(n.shards[n.part[nid]], n.shards[n.part[peer]], peer, peerPort))
 		}
 		return op
 	}
 
+	// Port and host structs come from two en-bloc slices: a K=8 fat tree
+	// otherwise pays ~900 separate struct allocations before the first
+	// packet moves, which dominates short-run benchmarks.
+	nPorts := len(n.Topo.Hosts()) // one NIC each
+	for _, sid := range n.Topo.Switches() {
+		nPorts += len(n.Topo.Ports(sid))
+	}
+	portBlock := make([]switching.OutPort, nPorts)
+	nextPort := func() *switching.OutPort {
+		op := &portBlock[0]
+		portBlock = portBlock[1:]
+		return op
+	}
+	hostBlock := make([]host.Host, len(n.Topo.Hosts()))
+
 	// Hosts first (their NICs are simple), then switches.
-	for _, hid := range n.Topo.Hosts() {
-		h := host.New(hid)
+	for hi, hid := range n.Topo.Hosts() {
+		h := hostBlock[hi].Init(hid)
+		sh := n.shards[n.part[hid]]
 		p := n.Topo.Ports(hid)[0]
-		nic := jitterize(switching.NewOutPort(n.Sched, queue.NewDropTail(cfg.HostQueuePkts, 0),
-			p.RateBps, p.Delay, portRef{n, p.Peer}, p.PeerPort))
+		nic := finishPort(switching.InitOutPort(nextPort(), sh.sched, queue.NewDropTail(cfg.HostQueuePkts, 0),
+			p.RateBps, p.Delay, portRef{n, p.Peer}, p.PeerPort), hid, 0, p.Peer, p.PeerPort)
 		h.NIC = nic
-		h.OnDeliver = n.Collector.OnDeliver
+		h.OnDeliver = sh.coll.OnDeliver
 		if cfg.TraceEvents {
 			hid := hid
 			h.OnDeliver = func(p *packet.Packet) {
@@ -140,19 +190,21 @@ func Build(cfg Config) *Network {
 		n.handlers[hid] = h
 	}
 	for _, sid := range n.Topo.Switches() {
+		sh := n.shards[n.part[sid]]
 		ports := make([]*switching.OutPort, 0, len(n.Topo.Ports(sid)))
 		var pool *queue.SharedPool
 		if cfg.Buffer == BufferShared {
 			pool = queue.NewSharedPool(cfg.SharedPoolPkts, cfg.SharedAlpha, cfg.SharedReserve)
 		}
-		for _, p := range n.Topo.Ports(sid) {
-			ports = append(ports, jitterize(switching.NewOutPort(n.Sched, n.makeQueue(pool),
-				p.RateBps, p.Delay, portRef{n, p.Peer}, p.PeerPort)))
+		for pi, p := range n.Topo.Ports(sid) {
+			ports = append(ports, finishPort(switching.InitOutPort(nextPort(), sh.sched, n.makeQueue(pool),
+				p.RateBps, p.Delay, portRef{n, p.Peer}, p.PeerPort), sid, pi, p.Peer, p.PeerPort))
 		}
 		swRng := rng.New(cfg.Seed, fmt.Sprintf("switch/%d", sid))
+		hooks := hooksBy[n.part[sid]]
 		var node switching.Node
 		if cfg.Arch == ArchCIOQ {
-			sw := switching.NewCIOQSwitch(sid, n.Topo, n.Sched, ports,
+			sw := switching.NewCIOQSwitch(sid, n.Topo, sh.sched, ports,
 				switching.CIOQConfig{IngressCap: cfg.CIOQIngressCap, Speedup: cfg.CIOQSpeedup},
 				n.makePolicy(), swRng, hooks)
 			sw.MarkDetours = cfg.MarkAtPkts > 0
@@ -301,10 +353,18 @@ func (n *Network) transportConfig() transport.Config {
 	return tc
 }
 
-// StartFlow launches a flow of bytes from src to dst, registering it with
-// the collector. queryID is -1 for non-query flows. Returns the sender.
+// StartFlow launches a flow of bytes from src to dst immediately,
+// registering it with the collector. queryID is -1 for non-query flows.
+// Returns the sender. It drives ad-hoc (test and tool) traffic on the
+// sequential engine; Run's configured workloads instead replay a recorded
+// schedule (see recordSchedule), which is also why StartFlow refuses
+// sharded networks — a synchronous start has no single shard clock to be
+// "immediate" on.
 func (n *Network) StartFlow(src, dst packet.NodeID, bytes int64,
 	class metrics.FlowClass, queryID int) *transport.Sender {
+	if len(n.shards) > 1 {
+		panic("netsim: StartFlow requires Shards <= 1")
+	}
 	if src == dst {
 		panic("netsim: flow to self")
 	}
@@ -351,67 +411,21 @@ func (n *Network) StartFlow(src, dst packet.NodeID, bytes int64,
 
 	srcHost.AddSender(snd)
 	dstHost.AddReceiver(rcv)
-	n.senders = append(n.senders, snd)
+	sh := n.shards[0]
+	sh.senders = append(sh.senders, snd)
 	if class == metrics.ClassLong {
-		n.longRx = append(n.longRx, rcv)
+		sh.longRx = append(sh.longRx, rcv)
 	}
 	snd.Start()
 	return snd
 }
 
-// Run installs the configured workloads, runs the simulation for
-// Duration+Drain, and returns the results.
+// Run records the configured workloads' arrival schedule, replays it on the
+// network for Duration+Drain — sequentially with one shard, under the
+// conservative window protocol otherwise — and returns the results.
 func (n *Network) Run() *Results {
 	cfg := &n.Cfg
-	hosts := n.Topo.Hosts()
-	start := func(src, dst packet.NodeID, bytes int64, class metrics.FlowClass, queryID int) {
-		n.StartFlow(src, dst, bytes, class, queryID)
-	}
-
-	if cfg.BGInterarrival > 0 {
-		dist := workload.WebSearchBackground()
-		if cfg.BGDist == BGDataMining {
-			dist = workload.DataMiningBackground()
-		}
-		bg := workload.NewBackground(n.Sched, rng.New(cfg.Seed, "workload/background"),
-			hosts, cfg.BGInterarrival, dist, cfg.Duration, start)
-		bg.Start()
-	}
-	if cfg.Query != nil {
-		q := workload.NewQueries(n.Sched, rng.New(cfg.Seed, "workload/queries"),
-			hosts, *cfg.Query, cfg.Duration, start)
-		q.OnQuery = n.Collector.QueryStarted
-		q.Start()
-	}
-	if cfg.OneShot != nil {
-		os := cfg.OneShot
-		if os.Senders >= len(hosts) {
-			panic("netsim: one-shot senders must leave a target host")
-		}
-		n.Sched.At(os.At, func() {
-			target := hosts[len(hosts)-1]
-			nFlows := os.Senders * os.FlowsPerSender
-			n.Collector.QueryStarted(1_000_000, nFlows)
-			for s := 0; s < os.Senders; s++ {
-				for f := 0; f < os.FlowsPerSender; f++ {
-					n.StartFlow(hosts[s], target, os.Bytes, metrics.ClassQuery, 1_000_000)
-				}
-			}
-		})
-	}
-	if cfg.Long != nil {
-		pairs := workload.Pairs(hosts)
-		if cfg.Long.Shuffle {
-			pairs = workload.PairsShuffled(hosts, rng.New(cfg.Seed, "workload/longpairs"))
-		}
-		const longBytes = int64(1) << 40 // effectively unbounded
-		for _, pr := range pairs {
-			for i := 0; i < cfg.Long.PerPair; i++ {
-				n.StartFlow(pr[0], pr[1], longBytes, metrics.ClassLong, -1)
-				n.StartFlow(pr[1], pr[0], longBytes, metrics.ClassLong, -1)
-			}
-		}
-	}
+	n.installSchedule(recordSchedule(cfg, n.Topo.Hosts()))
 
 	if n.Util != nil {
 		n.Util.Start()
@@ -421,6 +435,10 @@ func (n *Network) Run() *Results {
 	}
 
 	end := cfg.Duration + cfg.Drain
-	n.Sched.RunUntil(end)
+	if len(n.shards) == 1 {
+		n.Sched.RunUntil(end)
+	} else {
+		n.runSharded(end)
+	}
 	return n.results(end)
 }

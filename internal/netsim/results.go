@@ -3,12 +3,14 @@ package netsim
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 
 	"dibs/internal/eventq"
 	"dibs/internal/metrics"
 	"dibs/internal/stats"
 	"dibs/internal/switching"
+	"dibs/internal/transport"
 )
 
 // Results summarizes one run. Times are milliseconds, matching the paper's
@@ -60,6 +62,16 @@ type Results struct {
 }
 
 func (n *Network) results(end eventq.Time) *Results {
+	if len(n.shards) > 1 {
+		// Reduce the per-shard collectors into one. MergeFrom is
+		// order-independent across shards, so the merged aggregates are
+		// byte-identical to what a 1-shard run accumulates directly.
+		merged := metrics.NewCollector(n.Sched)
+		for _, sh := range n.shards {
+			merged.MergeFrom(sh.coll)
+		}
+		n.Collector = merged
+	}
 	c := n.Collector
 	r := &Results{
 		Cfg:            n.Cfg,
@@ -85,18 +97,38 @@ func (n *Network) results(end eventq.Time) *Results {
 	for _, h := range n.Topo.Hosts() {
 		r.HostNICDrops += n.HostsByID[h].NICDrops
 	}
-	for _, s := range n.senders {
-		r.Timeouts += s.Timeouts
-		r.Retransmits += s.Retransmits
-		r.FastRecovers += s.FastRecovers
+	var longRx []*transport.Receiver
+	var emitted, adopted uint64
+	for _, sh := range n.shards {
+		for _, s := range sh.senders {
+			r.Timeouts += s.Timeouts
+			r.Retransmits += s.Retransmits
+			r.FastRecovers += s.FastRecovers
+		}
+		longRx = append(longRx, sh.longRx...)
+		// Cross-shard hops re-home packets: a Free into the source arena
+		// at emission plus a Get from the destination arena at delivery.
+		// Cancelling those out of the totals leaves exactly the borrows
+		// and returns a 1-shard run would record — including a packet
+		// caught mid-boundary at the end of the run, whose emission-side
+		// return is cancelled but whose adoption never happened, so it
+		// still counts as live.
+		r.PoolBorrowed += sh.pool.Borrowed()
+		r.PoolReturned += sh.pool.Returned()
+		emitted += sh.emitted
+		adopted += sh.adopted
 	}
+	r.PoolBorrowed -= adopted
+	r.PoolReturned -= emitted
+	r.PoolLive = int(r.PoolBorrowed - r.PoolReturned)
 	r.PFCPauses = n.PFCPauses()
-	r.PoolBorrowed = n.Pool.Borrowed()
-	r.PoolReturned = n.Pool.Returned()
-	r.PoolLive = n.Pool.Live()
-	if len(n.longRx) > 0 {
+	if len(longRx) > 0 {
+		// Flow-ID order, so the goodput vector is identical for every
+		// shard count (shard-local append order is creation order, which
+		// is ID order within a shard but interleaves across shards).
+		sort.Slice(longRx, func(i, j int) bool { return longRx[i].Flow < longRx[j].Flow })
 		secs := end.Seconds()
-		for _, rx := range n.longRx {
+		for _, rx := range longRx {
 			r.LongGoodputs = append(r.LongGoodputs, float64(rx.RcvNxt())*8/secs)
 		}
 		r.JainIndex = stats.Jain(r.LongGoodputs)

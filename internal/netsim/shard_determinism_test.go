@@ -1,0 +1,139 @@
+package netsim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"testing"
+
+	"dibs/internal/eventq"
+	"dibs/internal/metrics"
+	"dibs/internal/workload"
+)
+
+// shardConfigs are the workloads the cross-shard-count property runs over:
+// a pod-structured fat-tree (pods map to shards, cores spread) and a
+// pod-less jellyfish (contiguous-block partition), both with background +
+// incast traffic over every seeded stream that survives sharding. The
+// run-global instrumentation (tracing, timeline, monitors) is off because
+// Shards > 1 rejects it.
+func shardConfigs() map[string]Config {
+	ft := DefaultConfig()
+	ft.FatTreeK = 4
+	ft.Duration = 20 * eventq.Millisecond
+	ft.Drain = 60 * eventq.Millisecond
+	ft.Seed = 424242
+	ft.BGInterarrival = 10 * eventq.Millisecond
+	ft.Query = &workload.QueryConfig{QPS: 400, Degree: 8, ResponseBytes: 20_000}
+
+	jf := ft
+	jf.Topo = TopoJellyfish
+	jf.JellyfishSwitches = 12
+	jf.JellyfishDegree = 4
+	jf.JellyfishHostsPer = 2
+
+	return map[string]Config{"fattree": ft, "jellyfish": jf}
+}
+
+// shardFingerprint serializes everything observable about a finished
+// sharded run in canonical form: the Results struct (minus the shard count
+// itself), every retained sample (Values() sorts), every flow record in ID
+// order, and the executed-event total across shards.
+func shardFingerprint(t *testing.T, n *Network, r *Results) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+
+	flat := *r
+	flat.Collector = nil // pointer identity differs across runs
+	flat.Cfg.Shards = 0  // the shard count is the one allowed difference
+	// Empty samples report NaN percentiles, which JSON cannot carry.
+	for _, p := range []*float64{
+		&flat.QCT50, &flat.QCT99, &flat.QCTMax,
+		&flat.ShortFCT50, &flat.ShortFCT99, &flat.BGFCT99, &flat.DetourP99,
+	} {
+		*p = FiniteOr(*p, -1)
+	}
+	if err := json.NewEncoder(&buf).Encode(flat); err != nil {
+		t.Fatalf("encoding results: %v", err)
+	}
+	fmt.Fprintln(&buf, r.String())
+
+	c := r.Collector
+	for _, s := range []struct {
+		name string
+		vals []float64
+	}{
+		{"qct", c.QCTs.Values()},
+		{"shortbg", c.ShortBGFCTs.Values()},
+		{"bg", c.BGFCTs.Values()},
+		{"detours", c.DetourCounts.Values()},
+	} {
+		fmt.Fprintf(&buf, "%s %v\n", s.name, s.vals)
+	}
+
+	var flows []*metrics.FlowInfo
+	c.EachFlow(func(f *metrics.FlowInfo) { flows = append(flows, f) })
+	sort.Slice(flows, func(i, j int) bool { return flows[i].ID < flows[j].ID })
+	for _, f := range flows {
+		fmt.Fprintf(&buf, "flow %d %v %d %d %v %v\n", f.ID, f.Class, f.Bytes, f.QueryID, f.Start, f.End)
+	}
+
+	fmt.Fprintf(&buf, "executed %d\n", n.Executed())
+	return buf.Bytes()
+}
+
+// TestShardCountInvariance is the sharded engine's core property: for a
+// fixed seed, every shard count produces the byte-identical run — same
+// metrics, same per-flow records, same pool accounting, same executed-event
+// total. Shards=1 is the plain sequential engine, so this pins the parallel
+// protocol (windows, message merge order, per-link delivery keys, arena
+// custody transfer) to sequential semantics on both a pod-structured and a
+// pod-less topology. Run under -race, it doubles as the proof that the
+// window loop shares nothing it shouldn't.
+func TestShardCountInvariance(t *testing.T) {
+	for name, base := range shardConfigs() {
+		t.Run(name, func(t *testing.T) {
+			cfg := base
+			cfg.Shards = 1
+			n1 := Build(cfg)
+			r1 := n1.Run()
+			ref := shardFingerprint(t, n1, r1)
+
+			if r1.DeliveredData == 0 || r1.QueriesDone == 0 {
+				t.Fatalf("reference run delivered nothing (delivered=%d queries=%d); config too small",
+					r1.DeliveredData, r1.QueriesDone)
+			}
+			if r1.PoolLive != 0 {
+				t.Fatalf("reference run leaked %d packets", r1.PoolLive)
+			}
+
+			for _, shards := range []int{2, 4, 8} {
+				cfg := base
+				cfg.Shards = shards
+				n := Build(cfg)
+				if got := len(n.shards); shards > 1 && got < 2 {
+					t.Fatalf("Shards=%d built %d shards; partition degenerated", shards, got)
+				}
+				fp := shardFingerprint(t, n, n.Run())
+				if !bytes.Equal(ref, fp) {
+					t.Fatalf("Shards=%d diverged from Shards=1:\nref %d bytes, got %d bytes\nfirst difference near byte %d:\nref: %.120s\ngot: %.120s",
+						shards, len(ref), len(fp), firstDiff(ref, fp),
+						tail(ref, firstDiff(ref, fp)), tail(fp, firstDiff(ref, fp)))
+				}
+			}
+		})
+	}
+}
+
+// tail returns the fingerprint text around offset, for failure messages.
+func tail(b []byte, off int) []byte {
+	if off > len(b) {
+		off = len(b)
+	}
+	start := off - 40
+	if start < 0 {
+		start = 0
+	}
+	return b[start:]
+}

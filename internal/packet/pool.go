@@ -25,18 +25,27 @@ var StrictFree = testing.Testing()
 // Ownership is linear: exactly one component owns a borrowed packet at any
 // instant (a transport endpoint, an output queue, a VOQ, a link in flight,
 // or a host demultiplexer), and the owner either hands it on whole or
-// returns it with Free. The pool is not safe for concurrent use; the
-// simulator is single-threaded (parallelism lives above whole runs).
+// returns it with Free. The pool is not safe for concurrent use: each
+// scheduler shard owns its own pool (a packet crossing shards is freed
+// into the source arena and re-borrowed from the destination's), and
+// run-level parallelism uses one pool per run.
 type Pool struct {
 	free []*Packet
 	// all retains every node ever created, so leak checks can name the
 	// packets still outstanding. Its length equals the peak live count,
 	// not the packet total: recycled nodes are reused, not re-added.
 	all []*Packet
+	// block is the tail of the current allocation block: nodes are carved
+	// from it in bulk so a growing simulation pays one allocation per
+	// blockSize packets of peak live count, not one per packet.
+	block []Packet
 
 	borrowed uint64
 	returned uint64
 }
+
+// blockSize is how many packet nodes one arena growth step allocates.
+const blockSize = 64
 
 // NewPool returns an empty pool.
 func NewPool() *Pool { return &Pool{} }
@@ -53,7 +62,12 @@ func (pl *Pool) Get() *Packet {
 		// every wire/bookkeeping field.
 		*p = Packet{pool: pl, gen: p.gen, traceBuf: p.traceBuf}
 	} else {
-		p = &Packet{pool: pl}
+		if len(pl.block) == 0 {
+			pl.block = make([]Packet, blockSize)
+		}
+		p = &pl.block[0]
+		pl.block = pl.block[1:]
+		p.pool = pl
 		pl.all = append(pl.all, p)
 	}
 	pl.borrowed++

@@ -32,8 +32,49 @@ func Derive(seed uint64, stream string) uint64 {
 	for i := 0; i < len(stream); i++ {
 		h = (h ^ uint64(stream[i])) * fnvPrime
 	}
-	z := seed + h + 0x9e3779b97f4a7c15
+	return mix(seed + h)
+}
+
+// Derive2 is Derive for indexed stream families: the same named stream
+// fanned out over two integer indices (e.g. one jitter stream per
+// (node, port) pair) without building a per-index name string, so
+// constructing thousands of streams at network build time costs no
+// allocations. Pinned by goldens alongside Derive.
+func Derive2(seed uint64, stream string, a, b int) uint64 {
+	z := Derive(seed, stream)
+	z = mix(z + uint64(int64(a))*0x9e3779b97f4a7c15)
+	return mix(z + uint64(int64(b))*0x9e3779b97f4a7c15)
+}
+
+// mix is the SplitMix64 finalizer, the avalanche at the heart of Derive.
+func mix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)
+}
+
+// Stream is an allocation-free SplitMix64 sequence for hot paths that
+// cannot afford a heap-allocated *rand.Rand per consumer (per-port link
+// jitter). The zero value is a valid stream seeded at 0; construct real
+// streams from Derive/Derive2 output.
+type Stream uint64
+
+// Next advances the stream and returns the next 64-bit value.
+func (s *Stream) Next() uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Int63n returns a value in [0, n). Like the rest of this package the
+// contract is determinism, not statistical perfection: the modulo bias at
+// data-center jitter magnitudes (n ≪ 2⁶³) is unmeasurable.
+func (s *Stream) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Int63n with non-positive bound")
+	}
+	return int64((s.Next() >> 1) % uint64(n))
 }

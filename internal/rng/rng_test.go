@@ -22,6 +22,50 @@ func TestDerivePinned(t *testing.T) {
 	}
 }
 
+// TestDerive2Pinned locks the indexed-stream derivation the same way
+// TestDerivePinned locks the named one: per-port jitter streams (and any
+// future indexed family) reseed silently if these values move.
+func TestDerive2Pinned(t *testing.T) {
+	cases := []struct {
+		seed   uint64
+		stream string
+		a, b   int
+		want   uint64
+	}{
+		{1, "link/jitter", 0, 0, 0x2f4737502e671c1b},
+		{1, "link/jitter", 17, 3, 0x7c85e3a32c4280a4},
+		{424242, "link/jitter", 17, 3, 0x8e6c8a72ddb68b58},
+	}
+	for _, c := range cases {
+		if got := Derive2(c.seed, c.stream, c.a, c.b); got != c.want {
+			t.Errorf("Derive2(%d, %q, %d, %d) = %#x, want %#x", c.seed, c.stream, c.a, c.b, got, c.want)
+		}
+	}
+	if Derive2(1, "link/jitter", 1, 2) == Derive2(1, "link/jitter", 2, 1) {
+		t.Error("Derive2 index order must matter")
+	}
+}
+
+// TestStreamPinned locks the Stream sequence: the first draws of a pinned
+// stream seed, plus the bounded draw used by link jitter.
+func TestStreamPinned(t *testing.T) {
+	s := Stream(Derive2(1, "link/jitter", 17, 3))
+	if got, want := s.Next(), uint64(0xf2484bec7fecefc4); got != want {
+		t.Errorf("Next()#1 = %#x, want %#x", got, want)
+	}
+	if got, want := s.Next(), uint64(0xcf73f021935ce1e8); got != want {
+		t.Errorf("Next()#2 = %#x, want %#x", got, want)
+	}
+	if got, want := s.Int63n(2000), int64(32); got != want {
+		t.Errorf("Int63n(2000) = %d, want %d", got, want)
+	}
+	for i := 0; i < 1000; i++ {
+		if v := s.Int63n(7); v < 0 || v >= 7 {
+			t.Fatalf("Int63n(7) out of range: %d", v)
+		}
+	}
+}
+
 func TestNewIsDeterministicPerStream(t *testing.T) {
 	a := New(7, "workload/queries")
 	b := New(7, "workload/queries")

@@ -1,7 +1,6 @@
 package switching
 
 import (
-	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -24,7 +23,7 @@ func TestQuickJitterPreservesFIFO(t *testing.T) {
 		sched := eventq.NewScheduler()
 		sink := &capture{sched: sched}
 		op := NewOutPort(sched, queue.NewInfinite(0), 1_000_000_000, 1500, sink, 0)
-		op.SetJitter(rand.New(rand.NewSource(seed)), eventq.Time(jitterUs)*eventq.Microsecond+1)
+		op.SetJitter(uint64(seed), eventq.Time(jitterUs)*eventq.Microsecond+1)
 		for i, sz := range sizes {
 			op.Enqueue(&packet.Packet{
 				Kind:         packet.Data,

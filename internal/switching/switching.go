@@ -17,6 +17,7 @@ import (
 	"dibs/internal/eventq"
 	"dibs/internal/packet"
 	"dibs/internal/queue"
+	"dibs/internal/rng"
 	"dibs/internal/topology"
 )
 
@@ -91,15 +92,32 @@ type OutPort struct {
 	peerPort int
 	busy     bool
 
-	// jitter, when non-nil with jitterMax > 0, adds a uniform random
-	// per-packet delivery delay in [0, jitterMax). Identical self-clocked
-	// flows otherwise phase-lock on the deterministic ECN threshold and
-	// share bandwidth unfairly — an artifact real switches' variable
-	// pipeline latency prevents.
-	jitter    *rand.Rand
+	// jitter, when jitterMax > 0, adds a uniform random per-packet
+	// delivery delay in [0, jitterMax). Identical self-clocked flows
+	// otherwise phase-lock on the deterministic ECN threshold and share
+	// bandwidth unfairly — an artifact real switches' variable pipeline
+	// latency prevents. The stream is port-local, so a port's jitter draws
+	// are a function of its own packet sequence alone — the property that
+	// keeps deliveries identical no matter how the network is sharded.
+	jitter    rng.Stream
 	jitterMax eventq.Time
 	// lastArrival keeps deliveries FIFO under jitter.
 	lastArrival eventq.Time
+
+	// pri is the delivery ordering key for this link: every delivery event
+	// is scheduled with it, so same-instant arrivals across the whole
+	// network execute in a fixed per-link order rather than in scheduling
+	// order — the tie-break that makes sharded runs byte-identical to
+	// sequential ones. Assigned once at network assembly, unique per
+	// directed link, always > 0 (ordinary events use pri 0 and run first).
+	pri int64
+
+	// remote, when set, replaces local delivery scheduling: the link's far
+	// end lives in another shard, so at serialization end the packet is
+	// snapshotted, its node returned to this shard's arena, and the
+	// snapshot handed to the shard driver stamped with its arrival time
+	// and link key.
+	remote func(at eventq.Time, pri int64, w packet.Wire)
 
 	// paused stops the transmitter from starting new packets (Ethernet
 	// flow control); the in-flight serialization always completes.
@@ -136,10 +154,18 @@ type OutPort struct {
 // NewOutPort creates a port transmitting at rateBps with one-way
 // propagation delay, delivering into peer at peerPort.
 func NewOutPort(sched *eventq.Scheduler, q queue.Queue, rateBps int64, delay eventq.Time, peer Handler, peerPort int) *OutPort {
+	return InitOutPort(&OutPort{}, sched, q, rateBps, delay, peer, peerPort)
+}
+
+// InitOutPort initializes o in place. Network builders allocate their port
+// structs en bloc (one slice for the whole topology) and wire each element
+// here, so constructing a fat tree pays one allocation rather than one per
+// port; NewOutPort is the single-port convenience wrapper over it.
+func InitOutPort(o *OutPort, sched *eventq.Scheduler, q queue.Queue, rateBps int64, delay eventq.Time, peer Handler, peerPort int) *OutPort {
 	if rateBps <= 0 {
 		panic("switching: rate must be positive")
 	}
-	o := &OutPort{sched: sched, Q: q, rateBps: rateBps, delay: delay, peer: peer, peerPort: peerPort}
+	*o = OutPort{sched: sched, Q: q, rateBps: rateBps, delay: delay, peer: peer, peerPort: peerPort}
 	o.serDone = o.onSerDone
 	o.deliver = o.onDeliver
 	return o
@@ -152,10 +178,21 @@ func (o *OutPort) SetPeer(peer Handler, peerPort int) {
 }
 
 // SetJitter enables uniform per-packet delivery jitter in [0, max), drawn
-// from rng. Pass max 0 to disable.
-func (o *OutPort) SetJitter(rng *rand.Rand, max eventq.Time) {
-	o.jitter = rng
+// from the port-local stream seeded with seed. Pass max 0 to disable.
+func (o *OutPort) SetJitter(seed uint64, max eventq.Time) {
+	o.jitter = rng.Stream(seed)
 	o.jitterMax = max
+}
+
+// SetDeliveryPri assigns the link's same-instant delivery ordering key
+// (used during network assembly; unique per directed link, > 0).
+func (o *OutPort) SetDeliveryPri(pri int64) { o.pri = pri }
+
+// SetRemote marks the link's far end as living in another scheduler shard:
+// instead of scheduling a local delivery event, serialized packets are
+// snapshotted and handed to emit with their arrival time and link key.
+func (o *OutPort) SetRemote(emit func(at eventq.Time, pri int64, w packet.Wire)) {
+	o.remote = emit
 }
 
 // SerializationTime returns how long a packet of the given wire size
@@ -231,11 +268,24 @@ func (o *OutPort) onSerDone() {
 		at = o.lastArrival // keep the link FIFO under jitter
 	}
 	o.lastArrival = at
+	if o.remote != nil {
+		// Cross-shard link: the arrival is at least one full propagation
+		// delay ahead (the driver's lookahead), so the hand-off message
+		// always lands beyond the current synchronization window. The
+		// node goes back to this shard's arena; the far shard restores
+		// the snapshot into one of its own.
+		w := p.Snapshot()
+		packet.Free(p)
+		o.remote(at, o.pri, w)
+		o.kick()
+		return
+	}
 	// Deliveries are scheduled in nondecreasing time (the FIFO clamp above)
-	// and the scheduler breaks ties in insertion order, so the wire ring
-	// pops in push order and onDeliver always dequeues the right packet.
+	// and the scheduler breaks same-(time,pri) ties in insertion order, so
+	// the wire ring pops in push order and onDeliver always dequeues the
+	// right packet.
 	o.inflight.push(p)
-	o.sched.At(at, o.deliver)
+	o.sched.AtPri(at, o.pri, o.deliver)
 	o.kick()
 }
 

@@ -274,6 +274,52 @@ func (t *Topology) IsHostPort(id packet.NodeID, pi int) bool {
 	return t.hostPortMask[id]&(1<<uint(pi)) != 0
 }
 
+// Partition maps every node to one of nShards scheduler shards for the
+// sharded PDES engine. The invariants the engine relies on:
+//
+//   - Hosts are co-located with their edge switch (a host's single port
+//     peers its switch), so host<->switch links are never shard crossings
+//     and only switch<->switch links carry lookahead-bounded messages.
+//   - Pod-aware topologies (fat-tree: Node.Pod >= 0 for aggregation/edge
+//     switches and hosts) keep whole pods together — intra-pod traffic,
+//     the bulk of a detour cascade, stays shard-local — while core
+//     switches, which every pod talks to, are spread round-robin.
+//   - Topologies without pods (jellyfish, linear, HyperX, Click) cut the
+//     switch list into contiguous blocks in construction order, which for
+//     random graphs is as good as any static cut.
+//
+// The map is a pure function of the topology and nShards: it never depends
+// on traffic, so the same seed yields the same partition in every run.
+// nShards must be in [1, len(Switches())].
+func (t *Topology) Partition(nShards int) []int {
+	if nShards < 1 || nShards > len(t.switches) {
+		panic(fmt.Sprintf("topology: %d shards for %d switches", nShards, len(t.switches)))
+	}
+	part := make([]int, len(t.nodes))
+	numPods := 0
+	for _, sid := range t.switches {
+		if p := t.nodes[sid].Pod; p >= numPods {
+			numPods = p + 1
+		}
+	}
+	core := 0
+	for i, sid := range t.switches {
+		switch {
+		case numPods > 0 && t.nodes[sid].Pod >= 0:
+			part[sid] = t.nodes[sid].Pod * nShards / numPods
+		case numPods > 0:
+			part[sid] = core % nShards
+			core++
+		default:
+			part[sid] = i * nShards / len(t.switches)
+		}
+	}
+	for _, hid := range t.hosts {
+		part[hid] = part[t.ports[hid][0].Peer]
+	}
+	return part
+}
+
 // Diameter returns the maximum finite host-to-host distance.
 func (t *Topology) Diameter() int {
 	max := 0

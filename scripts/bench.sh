@@ -4,16 +4,19 @@
 # Runs BenchmarkSimulatorThroughput under both scheduler engines (wheel and
 # heap — their in-process ratio is the noise-robust number), plus
 # BenchmarkIncastBurst, BenchmarkPacketPool and BenchmarkNextHops (via go
-# test), a fixed fig08+fig09 pass with a heap summary, and the full
-# `-all -scale 0.1` experiments workload, writing everything to a tracked
-# JSON baseline.
+# test), a fixed fig08+fig09 pass with a heap summary, a K=16 shard-speedup
+# probe (4 conservative-PDES shards vs 1), and the full `-all -scale 0.1`
+# experiments workload, writing everything to a tracked JSON baseline.
 #
-#   scripts/bench.sh                       # print, write BENCH_7.json
-#   scripts/bench.sh -out BENCH_8.json     # write a new baseline
-#   scripts/bench.sh -compare BENCH_7.json # exit non-zero on >20% events/sec
-#                                          # loss, >20% allocs/op growth,
-#                                          # >0.9 allocs per packet, or any
-#                                          # allocation in the packet pool
+#   scripts/bench.sh                       # print, write BENCH_8.json
+#   scripts/bench.sh -out BENCH_9.json     # write a new baseline
+#   scripts/bench.sh -compare BENCH_8.json # exit non-zero on >20% events/sec
+#                                          # loss, >20% allocs/op growth
+#                                          # (throughput or incast), >0.9
+#                                          # allocs per packet, any
+#                                          # allocation in the packet pool,
+#                                          # or (on >= 4 procs) a 4-shard
+#                                          # speedup below 2x
 #   scripts/bench.sh -skip-all ...         # skip the slow -all pass
 #
 # Pass -compare (without -out) in CI to gate on the checked-in baseline.
@@ -22,7 +25,7 @@ cd "$(dirname "$0")/.."
 
 args=("$@")
 if [ $# -eq 0 ]; then
-    args=(-out BENCH_7.json)
+    args=(-out BENCH_8.json)
 fi
 
 exec go run ./cmd/bench "${args[@]}"

@@ -45,6 +45,12 @@ if [ "${RACE:-1}" = "1" ]; then
     # it above; run it explicitly — it is the gate for the parallel layer.
     step "go test -race internal/runner"
     go test -race -count=1 ./internal/runner
+
+    # The sharded engine's determinism property (every shard count produces
+    # the byte-identical run) doubles as its data-race proof: the window
+    # loop's channel handoffs are the only synchronization it has.
+    step "go test -race shard determinism"
+    go test -race -count=1 -run TestShardCountInvariance ./internal/netsim
 fi
 
 printf '\nall checks passed\n'
