@@ -56,6 +56,22 @@ type FuncFacts struct {
 	ConsumesParams    uint64
 	StoresOwnedParams uint64
 	ReturnsOwned      bool
+
+	// Shard-confinement summary (facts_escape.go), same slot convention.
+	//
+	//   EscapingParams      the parameter can become reachable from heap
+	//                       state another shard can see: stored to a
+	//                       package variable, captured by a go-spawned
+	//                       closure, sent on a channel, placed into a
+	//                       pdes.Message, or passed to another function's
+	//                       escaping position;
+	//   ResultLookaheadSafe the function returns eventq.Time and every
+	//                       result flows only from constants, zero values,
+	//                       Delay/LinkDelay topology fields, or other
+	//                       lookahead-safe functions — never arithmetic
+	//                       that could undercut the conservative window.
+	EscapingParams      uint64
+	ResultLookaheadSafe bool
 }
 
 // FactsFor returns the computed summary for a function, if its declaring
@@ -424,6 +440,8 @@ func (l *Loader) factsForDecl(pkg *Package, obj *types.Func, decl *ast.FuncDecl)
 	du := l.funcData(info, decl.Recv, decl.Type, decl.Body)
 	fe := &flowEval{l: l, info: info, du: du, enclosing: obj}
 	l.computeOwnFacts(info, obj, du, &facts)
+	l.computeEscapeFacts(info, du, decl, &facts)
+	l.computeLookaheadFacts(info, obj, du, &facts)
 
 	// Result taint: explicit return values, plus every assignment to a
 	// named result (covers naked returns, over-approximating which return

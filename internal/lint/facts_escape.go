@@ -1,0 +1,425 @@
+package lint
+
+// facts_escape.go is the shard-confinement layer of the fact store: the
+// escape analysis behind the shard-escape / shard-wire-custody /
+// shard-lookahead-const rules (rules_shard.go).
+//
+// Two per-function summaries are computed in the same fixpoint as the
+// determinism and ownership facts:
+//
+//   - EscapingParams: parameters (receiver slot 0, argument i slot i+1)
+//     whose value can become reachable from heap state another shard can
+//     see — assignment to a package-level variable, capture by a
+//     `go`-spawned closure, a channel send, storage into a pdes.Message
+//     (the struct that crosses the barrier), or being passed to another
+//     function's escaping position;
+//   - ResultLookaheadSafe: every eventq.Time result flows only from
+//     constants, zero values, Delay/LinkDelay topology fields, or other
+//     lookahead-safe module functions — never through non-constant
+//     arithmetic that could undercut the conservative window.
+//
+// Confinement boundaries are declared at the hand-off points:
+//
+//	//dibslint:confined <shard|coordinator|immutable> reason...
+//	//dibslint:confined(<param>) <shard|coordinator|immutable> reason...
+//
+// The bare form annotates the commented declaration (a function, type,
+// struct field, or interface method); the parenthesized form, valid only
+// on a function's doc comment, annotates the named parameter — go/parser
+// does not attach comments to parameters inside a signature, so per-param
+// regions live on the function doc. Regions:
+//
+//	shard        owned by exactly one shard worker at a time; may be handed
+//	             to other shard-confined functions but must never reach a
+//	             global, a goroutine capture, or a bare pdes.Message;
+//	coordinator  runs only between barrier windows; the one place allowed
+//	             to spawn workers, and every value it hands them is checked;
+//	immutable    a pointer-free value copy (packet.Wire); safe anywhere.
+//
+// A reason is mandatory, like //dibslint:ignore and //dibslint:owns.
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Confinement regions.
+const (
+	RegionShard       = "shard"
+	RegionCoordinator = "coordinator"
+	RegionImmutable   = "immutable"
+)
+
+func validRegion(r string) bool {
+	switch r {
+	case RegionShard, RegionCoordinator, RegionImmutable:
+		return true
+	}
+	return false
+}
+
+// confinedRe matches confinement annotations:
+// //dibslint:confined[(param)] region reason...
+var confinedRe = regexp.MustCompile(`^//dibslint:confined(?:\(([A-Za-z_][A-Za-z0-9_]*)\))?\s+(\S+)\s*(.*)$`)
+
+// collectConfined records well-formed //dibslint:confined annotations on
+// function declarations (and, via the parenthesized form, their named
+// parameters and receivers), type declarations, struct fields, and
+// interface methods, keyed by types.Object. Malformed directives are
+// reported by suppressions(); unresolvable parameter names by the
+// shard-confinement analyzer, which has the declaration in hand.
+func (l *Loader) collectConfined(pkg *Package) {
+	each := func(groups []*ast.CommentGroup, visit func(param, region string)) {
+		for _, cg := range groups {
+			if cg == nil {
+				continue
+			}
+			for _, c := range cg.List {
+				m := confinedRe.FindStringSubmatch(c.Text)
+				if m == nil || !validRegion(m[2]) || strings.TrimSpace(m[3]) == "" {
+					continue
+				}
+				visit(m[1], m[2])
+			}
+		}
+	}
+	note := func(names []*ast.Ident, region string) {
+		for _, name := range names {
+			if obj := pkg.Info.Defs[name]; obj != nil {
+				l.confined[obj] = region
+			}
+		}
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				each([]*ast.CommentGroup{x.Doc}, func(param, region string) {
+					if param == "" {
+						note([]*ast.Ident{x.Name}, region)
+						return
+					}
+					if id := paramIdent(x, param); id != nil {
+						note([]*ast.Ident{id}, region)
+					}
+				})
+			case *ast.GenDecl:
+				for _, spec := range x.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					docs := []*ast.CommentGroup{ts.Doc, ts.Comment}
+					if len(x.Specs) == 1 {
+						docs = append(docs, x.Doc)
+					}
+					each(docs, func(param, region string) {
+						if param == "" {
+							note([]*ast.Ident{ts.Name}, region)
+						}
+					})
+				}
+			case *ast.InterfaceType:
+				for _, m := range x.Methods.List {
+					each([]*ast.CommentGroup{m.Doc, m.Comment}, func(param, region string) {
+						if param == "" {
+							note(m.Names, region)
+						}
+					})
+				}
+			case *ast.StructType:
+				for _, fld := range x.Fields.List {
+					each([]*ast.CommentGroup{fld.Doc, fld.Comment}, func(param, region string) {
+						if param == "" {
+							note(fld.Names, region)
+						}
+					})
+				}
+			}
+			return true
+		})
+	}
+}
+
+// paramIdent finds the receiver or parameter of fd named name, or nil.
+func paramIdent(fd *ast.FuncDecl, name string) *ast.Ident {
+	for _, fl := range []*ast.FieldList{fd.Recv, fd.Type.Params} {
+		if fl == nil {
+			continue
+		}
+		for _, fld := range fl.List {
+			for _, id := range fld.Names {
+				if id.Name == name {
+					return id
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// confinedOf returns the declared confinement region of an object, or "".
+func (l *Loader) confinedOf(obj types.Object) string {
+	if obj == nil {
+		return ""
+	}
+	return l.confined[obj]
+}
+
+// typeRegion returns the confinement region declared on a type, looking
+// through pointers, slices, and arrays to the named type.
+func (l *Loader) typeRegion(t types.Type) string {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		case *types.Named:
+			return l.confinedOf(u.Obj())
+		default:
+			return ""
+		}
+	}
+}
+
+// exprRegion returns the confinement region of an expression: an annotation
+// on the identifier / selected field it names, else on its named type.
+func (l *Loader) exprRegion(info *types.Info, e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.Uses[x]
+		if obj == nil {
+			obj = info.Defs[x]
+		}
+		if r := l.confinedOf(obj); r != "" {
+			return r
+		}
+	case *ast.SelectorExpr:
+		if r := l.confinedOf(info.Uses[x.Sel]); r != "" {
+			return r
+		}
+	}
+	if tv, ok := info.Types[ast.Unparen(e)]; ok {
+		return l.typeRegion(tv.Type)
+	}
+	return ""
+}
+
+// isPdesMessageType reports whether t is pdes.Message, the struct that
+// crosses the barrier between shards.
+func isPdesMessageType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil && named.Obj().Name() == "Message" &&
+		strings.HasSuffix(named.Obj().Pkg().Path(), "internal/pdes")
+}
+
+// isTimeType reports whether t is eventq.Time.
+func isTimeType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil && named.Obj().Name() == "Time" &&
+		strings.HasSuffix(named.Obj().Pkg().Path(), "internal/eventq")
+}
+
+// chanLike reports whether t is a channel, or a slice/array of channels —
+// the synchronization values a coordinator legitimately shares with its
+// workers.
+func chanLike(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Chan:
+		return true
+	case *types.Slice:
+		return chanLike(u.Elem())
+	case *types.Array:
+		return chanLike(u.Elem())
+	}
+	return false
+}
+
+// computeEscapeFacts folds the escaping-parameter summary of one declared
+// function into facts. A parameter escapes when it (or a closure capturing
+// it) is stored to a package-level variable, sent on a channel, captured by
+// a go statement, placed into a pdes.Message, or passed to a callee's
+// escaping position. Monotone: callee summaries only grow.
+func (l *Loader) computeEscapeFacts(info *types.Info, du *defUse, decl *ast.FuncDecl, facts *FuncFacts) {
+	params := make(map[*types.Var]int)
+	for _, d := range du.defs {
+		if d.kind == defParam {
+			params[d.obj] = d.paramIdx
+		}
+	}
+	if len(params) == 0 {
+		return
+	}
+	markIn := func(root ast.Node) {
+		if root == nil {
+			return
+		}
+		ast.Inspect(root, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if v := du.localVar(id); v != nil {
+				if slot, ok := params[v]; ok {
+					facts.EscapingParams |= 1 << uint(slot)
+				}
+			}
+			return true
+		})
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			markIn(x.Call)
+		case *ast.SendStmt:
+			markIn(x.Value)
+		case *ast.AssignStmt:
+			if len(x.Lhs) != len(x.Rhs) {
+				return true
+			}
+			for i, lhs := range x.Lhs {
+				if writtenPackageVar(info, lhs) != nil {
+					markIn(x.Rhs[i])
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[x]; ok && isPdesMessageType(tv.Type) {
+				markIn(x)
+			}
+		case *ast.CallExpr:
+			fn := staticCallee(info, x)
+			if !l.moduleFunc(fn) {
+				return true
+			}
+			cf, ok := l.facts[fn]
+			if !ok || cf.EscapingParams == 0 {
+				return true
+			}
+			shift := 0
+			sig, _ := fn.Type().(*types.Signature)
+			if sig != nil && sig.Recv() != nil {
+				shift = 1
+			}
+			for i, arg := range x.Args {
+				if cf.EscapingParams&(1<<uint(i+shift)) != 0 {
+					markIn(arg)
+				}
+			}
+			if shift == 1 && cf.EscapingParams&1 != 0 {
+				if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+					markIn(sel.X)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// computeLookaheadFacts decides ResultLookaheadSafe for one declared
+// function: it has an eventq.Time result, and every expression that can
+// become that result is lookahead-safe. Monotone: a callee turning safe
+// can only turn its callers safe.
+func (l *Loader) computeLookaheadFacts(info *types.Info, obj *types.Func, du *defUse, facts *FuncFacts) {
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	hasTime := false
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isTimeType(sig.Results().At(i).Type()) {
+			hasTime = true
+		}
+	}
+	if !hasTime {
+		return
+	}
+	timeResults := make(map[*types.Var]bool)
+	for _, d := range du.defs {
+		if d.kind == defResult && isTimeType(d.obj.Type()) {
+			timeResults[d.obj] = true
+		}
+	}
+	safe := true
+	for _, blk := range du.g.blocks {
+		for _, n := range blk.nodes {
+			switch s := n.(type) {
+			case *ast.ReturnStmt:
+				for _, e := range s.Results {
+					if tv, ok := info.Types[e]; ok && isTimeType(tv.Type) && !l.lookaheadSafe(info, du, e) {
+						safe = false
+					}
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range s.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || !timeResults[du.localVar(id)] {
+						continue
+					}
+					if len(s.Lhs) != len(s.Rhs) || !l.lookaheadSafe(info, du, s.Rhs[i]) {
+						safe = false
+					}
+				}
+			}
+		}
+	}
+	facts.ResultLookaheadSafe = safe
+}
+
+// lookaheadSafe reports whether every terminal source of e is a sanctioned
+// lookahead origin: a constant, a zero value, a Delay/LinkDelay
+// eventq.Time field of a module struct, or a call to a module function
+// whose summary is ResultLookaheadSafe. Non-constant arithmetic — anything
+// that could shave the window below the true minimum link delay — is
+// unsafe, as is any origin the walk cannot classify.
+func (l *Loader) lookaheadSafe(info *types.Info, du *defUse, e ast.Expr) bool {
+	ok := true
+	du.eachSource(e, func(src ast.Expr) bool {
+		if tv, has := info.Types[src]; has && tv.Value != nil {
+			return false // compile-time constant, safe as-is
+		}
+		switch x := src.(type) {
+		case *ast.Ident:
+			for _, d := range du.defsReaching(x) {
+				switch d.kind {
+				case defExpr, defZero, defResult:
+					// defExpr sources are walked by eachSource; zero
+					// values cannot undercut anything.
+				default:
+					// Parameters, op-assigns (hidden arithmetic), range
+					// variables and other opaque bindings are unprovable.
+					ok = false
+				}
+			}
+			return true
+		case *ast.SelectorExpr:
+			v, isVar := info.Uses[x.Sel].(*types.Var)
+			safeField := isVar && v.IsField() && v.Pkg() != nil &&
+				(x.Sel.Name == "Delay" || x.Sel.Name == "LinkDelay")
+			if tv, has := info.Types[src]; !has || !isTimeType(tv.Type) {
+				safeField = false
+			}
+			if !safeField {
+				ok = false
+			}
+			return false
+		case *ast.CallExpr:
+			fn := staticCallee(info, x)
+			if l.moduleFunc(fn) {
+				if f, has := l.facts[fn]; has && f.ResultLookaheadSafe {
+					return false
+				}
+			}
+			ok = false
+			return false
+		default:
+			ok = false
+			return false
+		}
+	})
+	return ok
+}

@@ -138,6 +138,11 @@ type Loader struct {
 	// owns records //dibslint:owns transfer annotations (facts_own.go) on
 	// functions, interface methods and func-typed fields.
 	owns map[types.Object]bool
+
+	// confined records //dibslint:confined region annotations
+	// (facts_escape.go) on functions, parameters, types, struct fields and
+	// interface methods: the declared shard/coordinator/immutable boundary.
+	confined map[types.Object]string
 }
 
 // NewLoader locates the module root by walking up from dir to the nearest
@@ -173,6 +178,7 @@ func NewLoader(dir string) (*Loader, error) {
 		facts:      make(map[*types.Func]FuncFacts),
 		funcDU:     make(map[*ast.BlockStmt]*defUse),
 		owns:       make(map[types.Object]bool),
+		confined:   make(map[types.Object]string),
 	}, nil
 }
 
@@ -323,6 +329,7 @@ func (l *Loader) checkWith(typePath, dir string, sources map[string]string, imp 
 	}
 	pkg := &Package{Path: typePath, Dir: dir, Files: files, Types: tpkg, Info: info, TestOf: testOf}
 	l.collectOwns(pkg)
+	l.collectConfined(pkg)
 	l.computeFacts(pkg)
 	return pkg, nil
 }
@@ -481,6 +488,23 @@ func suppressions(fset *token.FileSet, files []*ast.File, report func(pos token.
 					if strings.TrimSpace(m[2]) == "" {
 						report(c.Pos(), "lint-badignore",
 							"owns annotation needs a reason: //dibslint:owns <why the callee keeps the resource>")
+					}
+					continue
+				}
+				if strings.HasPrefix(c.Text, "//dibslint:confined") {
+					// Region annotations feed the fact store
+					// (collectConfined); here only well-formedness and the
+					// mandatory reason are enforced.
+					switch m := confinedRe.FindStringSubmatch(c.Text); {
+					case m == nil:
+						report(c.Pos(), "lint-badignore",
+							"malformed confinement annotation; use //dibslint:confined[(param)] <shard|coordinator|immutable> reason")
+					case !validRegion(m[2]):
+						report(c.Pos(), "lint-badignore",
+							fmt.Sprintf("unknown confinement region %q; use shard, coordinator, or immutable", m[2]))
+					case strings.TrimSpace(m[3]) == "":
+						report(c.Pos(), "lint-badignore",
+							"confined annotation needs a reason: //dibslint:confined "+m[2]+" <why this boundary holds>")
 					}
 					continue
 				}

@@ -406,17 +406,43 @@ func Fan(n int, fn func(int)) {
 	fs = lintFixture(t, "dibs/cmd/fixpool", "fixpool.go", src)
 	assertRule(t, fs, "nondet-goroutine", 0)
 
-	// internal/pdes is the conservative shard driver: its barrier protocol
-	// is what makes goroutines safe there, so it is allowlisted too.
-	fs = lintFixture(t, "dibs/internal/pdes", "fixpool.go", src)
-	assertRule(t, fs, "nondet-goroutine", 0)
-
-	// The allowlist is a path suffix match on the whole element, not a
-	// grab-bag substring: a package merely mentioning pdes stays banned.
-	fs = lintFixture(t, "dibs/internal/notpdes", "fixpool.go", src)
+	// The blanket internal/pdes allowlist is gone: a shard driver spawning
+	// bare goroutines flags like any other simulation package unless the
+	// spawning function is declared //dibslint:confined coordinator.
+	fs = lintFixture(t, "dibs/internal/pdeslike", "fixpool.go", src)
 	if n := countRule(fs, "nondet-goroutine"); n == 0 {
-		t.Errorf("nondet-goroutine: dibs/internal/notpdes was not flagged; allowlist leaks")
+		t.Errorf("nondet-goroutine: unannotated goroutines in dibs/internal/pdeslike were not flagged; the deleted allowlist leaked back")
 	}
+
+	// A coordinator-confined function may spawn workers, provided the
+	// goroutines share nothing but channels and basic values — checked by
+	// shard-escape instead of being waved through wholesale.
+	fs = lintFixture(t, "dibs/internal/fixcoord", "fixcoord.go", `
+package fixcoord
+
+//dibslint:confined coordinator drives the barrier between windows; cmd/done order every hand-off
+func Drive(n int) {
+	cmd := make([]chan int, n)
+	done := make(chan int, n)
+	for i := 0; i < n; i++ {
+		cmd[i] = make(chan int, 1)
+		go func(i int) {
+			for range cmd[i] {
+				done <- i
+			}
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		cmd[i] <- 1
+	}
+	for i := 0; i < n; i++ {
+		<-done
+		close(cmd[i])
+	}
+}
+`)
+	assertRule(t, fs, "nondet-goroutine", 0)
+	assertRule(t, fs, "shard-escape", 0)
 }
 
 func countRule(fs []Finding, rule string) int {

@@ -23,6 +23,7 @@ func Analyzers() []*Analyzer {
 		PathDroppedErr(),
 		HotPathAlloc(),
 		OwnershipAnalysis(),
+		ShardConfinement(),
 	}
 }
 
@@ -111,32 +112,41 @@ func Nondeterminism() *Analyzer {
 
 // Concurrency keeps simulation packages single-threaded: a goroutine or a
 // sync primitive below the run boundary means event order can depend on the
-// Go scheduler, which breaks the one-seed-one-output contract. Two packages
-// are allowlisted: internal/runner, which fans out over whole runs, and
-// internal/pdes, the conservative shard driver whose barrier protocol makes
-// event order independent of goroutine interleaving (the property the
-// cross-shard-count determinism test pins). Everything else stays banned —
-// determinism inside a shard is exactly what lets pdes exist at all.
+// Go scheduler, which breaks the one-seed-one-output contract. Two escapes
+// exist. internal/runner fans out over whole runs and stays allowlisted.
+// And a function annotated //dibslint:confined coordinator — the
+// conservative-PDES barrier driver — may spawn shard workers, with every
+// value those goroutines capture checked by shard-escape (rules_shard.go)
+// instead of the blanket package allowlist internal/pdes used to carry.
+// Everything else stays banned — determinism inside a shard is exactly
+// what lets pdes exist at all.
 func Concurrency() *Analyzer {
 	return &Analyzer{
 		Rules: []RuleDoc{
-			{ID: "nondet-goroutine", Doc: "goroutine or sync primitive in a simulation package; runs are single-threaded — parallelize whole runs via internal/runner or shard them via internal/pdes", Severity: SevError},
+			{ID: "nondet-goroutine", Doc: "goroutine or sync primitive in a simulation package; runs are single-threaded — parallelize whole runs via internal/runner, or spawn shard workers from a coordinator-confined function checked by shard-escape", Severity: SevError},
 		},
 		Check: func(l *Loader, pkg *Package, report func(token.Pos, string, string)) {
 			switch p := effectivePath(pkg); {
 			case !l.SimPackage(p),
-				strings.HasSuffix(p, "internal/runner"),
-				strings.HasSuffix(p, "internal/pdes"):
+				strings.HasSuffix(p, "internal/runner"):
 				return
 			}
 			for _, f := range pkg.Files {
-				ast.Inspect(f, func(n ast.Node) bool {
-					if g, ok := n.(*ast.GoStmt); ok {
-						report(g.Pos(), "nondet-goroutine",
-							"go statement in a simulation package; event order must not depend on the Go scheduler")
+				for _, d := range f.Decls {
+					if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil &&
+						l.confinedOf(pkg.Info.Defs[fd.Name]) == RegionCoordinator {
+						// The coordinator's worker spawns are shard-escape's
+						// to police, capture by capture.
+						continue
 					}
-					return true
-				})
+					ast.Inspect(d, func(n ast.Node) bool {
+						if g, ok := n.(*ast.GoStmt); ok {
+							report(g.Pos(), "nondet-goroutine",
+								"go statement in a simulation package; event order must not depend on the Go scheduler")
+						}
+						return true
+					})
+				}
 			}
 			for ident, obj := range pkg.Info.Uses {
 				if obj == nil || obj.Pkg() == nil {

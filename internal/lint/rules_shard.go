@@ -1,0 +1,620 @@
+package lint
+
+// rules_shard.go checks the shard-confinement discipline of the
+// conservative-PDES engine, replacing the blanket nondet-goroutine
+// allowlist internal/pdes used to carry. Three rules, built on the
+// //dibslint:confined annotations and the escape/lookahead summaries of
+// facts_escape.go:
+//
+//   shard-escape           shard-confined state becomes reachable from
+//                          another shard outside the barrier-window
+//                          protocol: stored in a package variable, sent on
+//                          a channel, captured by a pdes.Message in an
+//                          unconfined function, passed to a callee's
+//                          escaping position, or captured by a coordinator
+//                          goroutine without being a channel or a
+//                          shard/immutable-confined value.
+//   shard-wire-custody     the packet.Wire free-at-source →
+//                          re-borrow-at-destination transfer: a snapshot
+//                          emitted cross-shard while the snapshotted
+//                          packet is still held is a use-after-free in
+//                          waiting, and a Wire restored into a node not
+//                          freshly adopted from the destination pool
+//                          corrupts arena custody.
+//   shard-lookahead-const  the lookahead passed to pdes.Run must flow from
+//                          topology link-delay constants (Delay/LinkDelay
+//                          fields, literals, lookahead-safe helpers) —
+//                          never arithmetic that could shave the window
+//                          below the true minimum cross-shard latency.
+//
+// The custody walk reuses the ownership checker's CFG path machinery
+// (rules_own.go), so nil-branch pruning, terminal calls, and rebinds
+// behave identically to own-leak/own-doublefree.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ShardConfinement checks the three shard-confinement rules over every
+// simulation package.
+func ShardConfinement() *Analyzer {
+	return &Analyzer{
+		Rules: []RuleDoc{
+			{ID: "shard-escape", Doc: "shard-confined state is reachable from another shard outside the barrier-window protocol (global store, channel send, goroutine capture, or bare pdes.Message)", Severity: SevError},
+			{ID: "shard-wire-custody", Doc: "a packet.Wire snapshot is emitted cross-shard while the packet is still held, or restored into a node not freshly adopted from the destination pool", Severity: SevError},
+			{ID: "shard-lookahead-const", Doc: "a pdes.Run lookahead flows from arithmetic or opaque values; it must come from topology link-delay constants", Severity: SevError},
+		},
+		Check: func(l *Loader, pkg *Package, report func(token.Pos, string, string)) {
+			path := effectivePath(pkg)
+			if !l.SimPackage(path) || strings.HasSuffix(path, "internal/runner") {
+				return
+			}
+			// The snapshot/restore implementations themselves legitimately
+			// touch Wire and Packet internals.
+			custody := !strings.HasSuffix(path, "internal/packet")
+			for _, f := range pkg.Files {
+				for _, d := range f.Decls {
+					fd, ok := d.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					checkConfinedParamNames(pkg, fd, report)
+					sc := &shardChecker{l: l, info: pkg.Info,
+						region: l.confinedOf(pkg.Info.Defs[fd.Name]), report: report}
+					sc.checkEscapes(fd)
+				}
+				eachFuncBody(pkg, f, func(_ *types.Func, recv *ast.FieldList, ftype *ast.FuncType, body *ast.BlockStmt) {
+					du := l.funcData(pkg.Info, recv, ftype, body)
+					if custody {
+						checkWireCustody(l, pkg, du, body, report)
+						checkRestoreAdoption(l, pkg, du, report)
+					}
+					checkLookaheadArgs(l, pkg, du, report)
+				})
+			}
+		},
+	}
+}
+
+// checkConfinedParamNames reports confined(param) annotations whose name
+// resolves to no receiver or parameter of the function — suppressions()
+// cannot, since it has no declaration in hand.
+func checkConfinedParamNames(pkg *Package, fd *ast.FuncDecl, report func(token.Pos, string, string)) {
+	if fd.Doc == nil {
+		return
+	}
+	for _, c := range fd.Doc.List {
+		m := confinedRe.FindStringSubmatch(c.Text)
+		if m == nil || m[1] == "" || !validRegion(m[2]) || strings.TrimSpace(m[3]) == "" {
+			continue
+		}
+		if paramIdent(fd, m[1]) == nil {
+			report(c.Pos(), "lint-badignore",
+				fmt.Sprintf("confined(%s) names no receiver or parameter of %s", m[1], fd.Name.Name))
+		}
+	}
+}
+
+// shardChecker runs the escape checks of one function declaration,
+// including its nested function literals.
+type shardChecker struct {
+	l      *Loader
+	info   *types.Info
+	region string // the declaration's own confinement region, or ""
+	report func(token.Pos, string, string)
+}
+
+func (sc *shardChecker) regionOf(e ast.Expr) string {
+	return sc.l.exprRegion(sc.info, e)
+}
+
+func (sc *shardChecker) checkEscapes(fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			if sc.region == RegionCoordinator {
+				sc.checkCoordinatorGo(x)
+			}
+		case *ast.AssignStmt:
+			if len(x.Lhs) != len(x.Rhs) {
+				return true
+			}
+			for i, lhs := range x.Lhs {
+				if writtenPackageVar(sc.info, lhs) == nil {
+					continue
+				}
+				for _, e := range storedValues(sc.info, x.Rhs[i]) {
+					if sc.regionOf(e) == RegionShard {
+						sc.report(e.Pos(), "shard-escape",
+							"shard-confined value stored in a package-level variable; any shard could reach it outside the window protocol")
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if sc.regionOf(x.Value) == RegionShard {
+				sc.report(x.Value.Pos(), "shard-escape",
+					"shard-confined value sent on a channel; cross-shard hand-offs go through pdes.Message custody, not raw sends")
+			}
+		case *ast.CompositeLit:
+			if tv, ok := sc.info.Types[x]; ok && isPdesMessageType(tv.Type) &&
+				sc.region != RegionShard && sc.region != RegionCoordinator {
+				sc.checkMessageLit(x)
+			}
+		case *ast.CallExpr:
+			sc.checkEscapingArgs(x)
+		}
+		return true
+	})
+}
+
+// storedValues unwraps an rhs stored into longer-lived state to the values
+// actually retained: append arguments, composite-literal elements, or the
+// expression itself.
+func storedValues(info *types.Info, e ast.Expr) []ast.Expr {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "append" && len(x.Args) > 1 {
+				return x.Args[1:]
+			}
+		}
+	case *ast.CompositeLit:
+		out := make([]ast.Expr, 0, len(x.Elts))
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				out = append(out, kv.Value)
+			} else {
+				out = append(out, el)
+			}
+		}
+		return out
+	}
+	return []ast.Expr{e}
+}
+
+// checkCoordinatorGo verifies one goroutine spawned by a
+// coordinator-confined function: everything it captures or is handed must
+// be a channel, a basic value, or shard/immutable-confined — the values
+// the barrier protocol is allowed to share with a worker.
+func (sc *shardChecker) checkCoordinatorGo(g *ast.GoStmt) {
+	call := g.Call
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		for _, v := range funcLitFreeVars(sc.info, lit) {
+			if sc.sharedVarOK(v) {
+				continue
+			}
+			sc.report(g.Pos(), "shard-escape",
+				fmt.Sprintf("coordinator goroutine captures %s, which is neither a channel nor shard/immutable-confined; workers must not share it", v.Name()))
+		}
+	} else if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if !isPackageName(sc.info, sel.X) && !sc.sharedExprOK(sel.X) {
+			sc.report(g.Pos(), "shard-escape",
+				"coordinator goroutine runs a method of a value that is neither a channel nor shard/immutable-confined")
+		}
+	}
+	for _, a := range call.Args {
+		if sc.sharedExprOK(a) {
+			continue
+		}
+		sc.report(a.Pos(), "shard-escape",
+			"value handed to a coordinator goroutine must be a channel, a basic value, or shard/immutable-confined")
+	}
+}
+
+// isPackageName reports whether e is a package qualifier ident.
+func isPackageName(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isPkg := info.Uses[id].(*types.PkgName)
+	return isPkg
+}
+
+// sharedVarOK reports whether a captured variable may be shared between the
+// coordinator and a worker goroutine.
+func (sc *shardChecker) sharedVarOK(v *types.Var) bool {
+	if chanLike(v.Type()) {
+		return true
+	}
+	switch sc.l.confinedOf(v) {
+	case RegionShard, RegionImmutable:
+		return true
+	}
+	switch sc.l.typeRegion(v.Type()) {
+	case RegionShard, RegionImmutable:
+		return true
+	}
+	return false
+}
+
+// sharedExprOK is sharedVarOK for argument expressions: basic values and
+// constants are copied into the goroutine and carry no shared state.
+func (sc *shardChecker) sharedExprOK(e ast.Expr) bool {
+	if tv, ok := sc.info.Types[ast.Unparen(e)]; ok {
+		if tv.Value != nil {
+			return true
+		}
+		if _, basic := tv.Type.Underlying().(*types.Basic); basic {
+			return true
+		}
+		if chanLike(tv.Type) {
+			return true
+		}
+	}
+	switch sc.regionOf(e) {
+	case RegionShard, RegionImmutable:
+		return true
+	}
+	return false
+}
+
+// funcLitFreeVars returns the variables a function literal references but
+// does not define, in source order (deterministic across -workers).
+func funcLitFreeVars(info *types.Info, lit *ast.FuncLit) []*types.Var {
+	defined := make(map[*types.Var]bool)
+	ast.Inspect(lit, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := info.Defs[id].(*types.Var); ok {
+				defined[v] = true
+			}
+		}
+		return true
+	})
+	var out []*types.Var
+	seen := make(map[*types.Var]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || defined[v] || seen[v] {
+			return true
+		}
+		seen[v] = true
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// checkMessageLit reports shard-confined values captured by a pdes.Message
+// built outside a shard- or coordinator-confined function: the Message
+// crosses the barrier, so everything reachable from it becomes visible to
+// the destination shard.
+func (sc *shardChecker) checkMessageLit(x *ast.CompositeLit) {
+	ast.Inspect(x, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := sc.info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if sc.l.confinedOf(v) == RegionShard || sc.l.typeRegion(v.Type()) == RegionShard {
+			sc.report(id.Pos(), "shard-escape",
+				fmt.Sprintf("%s is shard-confined but reachable from a pdes.Message built outside a shard- or coordinator-confined function", id.Name))
+		}
+		return true
+	})
+}
+
+// checkEscapingArgs reports shard-confined values passed at a callee's
+// escaping parameter position. Callees annotated //dibslint:confined shard
+// are exempt: the annotation asserts the escape stays inside the shard's
+// own custody protocol (makeEmit storing into its shard's outbox).
+func (sc *shardChecker) checkEscapingArgs(call *ast.CallExpr) {
+	fn := staticCallee(sc.info, call)
+	if !sc.l.moduleFunc(fn) || sc.l.confinedOf(fn) == RegionShard {
+		return
+	}
+	facts, ok := sc.l.facts[fn]
+	if !ok || facts.EscapingParams == 0 {
+		return
+	}
+	shift := 0
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		shift = 1
+	}
+	for i, arg := range call.Args {
+		if facts.EscapingParams&(1<<uint(i+shift)) == 0 {
+			continue
+		}
+		if sc.regionOf(arg) == RegionShard {
+			sc.report(arg.Pos(), "shard-escape",
+				fmt.Sprintf("shard-confined value passed to %s, which lets it escape to state another shard can reach", fn.Name()))
+		}
+	}
+	if shift == 1 && facts.EscapingParams&1 != 0 {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sc.regionOf(sel.X) == RegionShard {
+			sc.report(sel.X.Pos(), "shard-escape",
+				fmt.Sprintf("shard-confined receiver of %s escapes to state another shard can reach", fn.Name()))
+		}
+	}
+}
+
+// isSnapshotCall matches (*packet.Packet).Snapshot.
+func isSnapshotCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := staticCallee(info, call)
+	return fn != nil && fn.Name() == "Snapshot" && methodOn(fn, "Packet", "internal/packet")
+}
+
+// hasDeferredRelease reports whether any node in the function defers a
+// release of v.
+func hasDeferredRelease(oc *ownChecker, v *types.Var) bool {
+	for _, evs := range oc.eventsAt {
+		for _, e := range evs {
+			if e.v == v && e.ev == evDeferRelease {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkWireCustody walks every path from a `w := p.Snapshot()` binding: if
+// the snapshot is emitted (call argument, channel send, return, or store
+// into longer-lived state) while p is still held, the free-at-source half
+// of the custody transfer was skipped and the packet is a use-after-free in
+// waiting on the destination shard.
+func checkWireCustody(l *Loader, pkg *Package, du *defUse, body *ast.BlockStmt, report func(token.Pos, string, string)) {
+	oc := &ownChecker{
+		l:        l,
+		info:     pkg.Info,
+		du:       du,
+		captured: capturedVars(pkg, body),
+		report:   report,
+		reported: make(map[string]bool),
+		eventsAt: make(map[ast.Node][]varEvent),
+	}
+	armed := false
+	for _, blk := range du.g.blocks {
+		for _, n := range blk.nodes {
+			for _, d := range du.defsAt[n] {
+				if d.kind == defExpr && d.rhs != nil {
+					if call, ok := ast.Unparen(d.rhs).(*ast.CallExpr); ok && isSnapshotCall(pkg.Info, call) {
+						armed = true
+					}
+				}
+			}
+		}
+	}
+	if !armed {
+		return
+	}
+	for _, blk := range du.g.blocks {
+		for _, n := range blk.nodes {
+			node := n
+			l.ownEvents(pkg.Info, du, node, func(v *types.Var, ev ownEvent, pos token.Pos) {
+				oc.eventsAt[node] = append(oc.eventsAt[node], varEvent{v, ev, pos})
+			})
+		}
+	}
+	for _, blk := range du.g.blocks {
+		for idx, n := range blk.nodes {
+			for _, d := range du.defsAt[n] {
+				if d.kind != defExpr || d.rhs == nil {
+					continue
+				}
+				call, ok := ast.Unparen(d.rhs).(*ast.CallExpr)
+				if !ok || !isSnapshotCall(pkg.Info, call) {
+					continue
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				pid, ok := ast.Unparen(sel.X).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				p := du.localVar(pid)
+				w := d.obj
+				if p == nil || oc.captured[p] || oc.captured[w] {
+					continue
+				}
+				// A deferred Free discharges custody wherever it appears:
+				// it runs at function exit, before the coordinator can
+				// drain the outbox at the barrier.
+				if hasDeferredRelease(oc, p) {
+					continue
+				}
+				oc.walkPaths(p, blk, idx+1, func(m ast.Node) pathStep {
+					if isTerminalNode(m) {
+						return stepClose
+					}
+					for _, e := range oc.eventsOn(m, p) {
+						if e.ev == evRelease || e.ev == evDeferRelease {
+							return stepClose // custody discharged at the source
+						}
+					}
+					if pos, hit := emitsWire(du, m, w); hit {
+						oc.reportOnce(pos, "shard-wire-custody",
+							fmt.Sprintf("Wire snapshot %s crosses the shard boundary while %s is still held; free the packet into its source arena before emitting the snapshot", w.Name(), p.Name()))
+						return stepHit
+					}
+					for _, dd := range du.defsAt[m] {
+						if dd.obj == p || dd.obj == w {
+							return stepClose // rebind ends this custody pair
+						}
+					}
+					return stepContinue
+				})
+			}
+		}
+	}
+}
+
+// emitsWire reports whether node n emits the wire value held by w: hands it
+// to a call, sends it, returns it, or stores it into longer-lived state —
+// directly, inside a composite literal, behind &, or captured by a function
+// literal.
+func emitsWire(du *defUse, n ast.Node, w *types.Var) (token.Pos, bool) {
+	var mentions func(e ast.Expr) bool
+	mentions = func(e ast.Expr) bool {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return du.localVar(x) == w
+		case *ast.CompositeLit:
+			for _, el := range x.Elts {
+				if mentions(el) {
+					return true
+				}
+			}
+		case *ast.KeyValueExpr:
+			return mentions(x.Value)
+		case *ast.CallExpr:
+			for _, a := range x.Args {
+				if mentions(a) {
+					return true
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				return mentions(x.X)
+			}
+		case *ast.FuncLit:
+			found := false
+			ast.Inspect(x.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && du.localVar(id) == w {
+					found = true
+				}
+				return true
+			})
+			return found
+		}
+		return false
+	}
+	switch s := n.(type) {
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			if mentions(e) {
+				return e.Pos(), true
+			}
+		}
+	case *ast.SendStmt:
+		if mentions(s.Value) {
+			return s.Value.Pos(), true
+		}
+	case *ast.AssignStmt:
+		if len(s.Lhs) == len(s.Rhs) {
+			for i, lhs := range s.Lhs {
+				nonlocal := false
+				switch t := ast.Unparen(lhs).(type) {
+				case *ast.Ident:
+					nonlocal = t.Name != "_" && du.localVar(t) == nil
+				case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+					nonlocal = true
+				}
+				if nonlocal && mentions(s.Rhs[i]) {
+					return s.Rhs[i].Pos(), true
+				}
+			}
+		}
+	}
+	var pos token.Pos
+	scanShallow(n, func(m ast.Node) bool {
+		if pos != token.NoPos {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, a := range call.Args {
+			if mentions(a) {
+				pos = a.Pos()
+				return false
+			}
+		}
+		return true
+	})
+	return pos, pos != token.NoPos
+}
+
+// checkRestoreAdoption verifies the other half of the custody transfer:
+// every Wire.Restore target must trace back to a fresh owned borrow
+// (Pool.Get or a ReturnsOwned/owns-annotated callee) on the destination
+// shard — restoring into a borrowed, pooled, or aliased node corrupts
+// arena custody.
+func checkRestoreAdoption(l *Loader, pkg *Package, du *defUse, report func(token.Pos, string, string)) {
+	for _, blk := range du.g.blocks {
+		for _, n := range blk.nodes {
+			scanShallow(n, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := staticCallee(pkg.Info, call)
+				if fn == nil || fn.Name() != "Restore" || !methodOn(fn, "Wire", "internal/packet") || len(call.Args) != 1 {
+					return true
+				}
+				if !adoptedFresh(l, pkg.Info, du, call.Args[0]) {
+					report(call.Args[0].Pos(), "shard-wire-custody",
+						"Wire restored into a packet that is not a fresh borrow from the destination shard's pool; bind the Restore target to Pool.Get")
+				}
+				return true
+			})
+		}
+	}
+}
+
+// adoptedFresh reports whether every source of e is an owned packet birth.
+func adoptedFresh(l *Loader, info *types.Info, du *defUse, e ast.Expr) bool {
+	ok := true
+	du.eachSource(e, func(src ast.Expr) bool {
+		switch x := src.(type) {
+		case *ast.Ident:
+			for _, d := range du.defsReaching(x) {
+				if d.kind != defExpr {
+					ok = false
+				}
+			}
+			return true
+		case *ast.CallExpr:
+			if l.ownedBirth(info, x) != "packet" {
+				ok = false
+			}
+			return false
+		default:
+			ok = false
+			return false
+		}
+	})
+	return ok
+}
+
+// checkLookaheadArgs verifies the lookahead argument of every pdes.Run
+// call site against the lookahead-safe source lattice.
+func checkLookaheadArgs(l *Loader, pkg *Package, du *defUse, report func(token.Pos, string, string)) {
+	for _, blk := range du.g.blocks {
+		for _, n := range blk.nodes {
+			scanShallow(n, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := staticCallee(pkg.Info, call)
+				if fn == nil || fn.Name() != "Run" || fn.Pkg() == nil ||
+					!strings.HasSuffix(fn.Pkg().Path(), "internal/pdes") || len(call.Args) < 2 {
+					return true
+				}
+				if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+					return true
+				}
+				if !l.lookaheadSafe(pkg.Info, du, call.Args[1]) {
+					report(call.Args[1].Pos(), "shard-lookahead-const",
+						"lookahead must flow from topology link-delay constants; arithmetic or opaque values could shave the window below the true minimum cross-shard latency")
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// SARIF 2.1.0 output, the static-analysis interchange format GitHub code
+// scanning ingests. Only the fields code scanning actually reads are
+// emitted; everything is deterministic (rules sorted by ID, results in
+// finding order) so the -workers byte-identity guarantee extends to the
+// SARIF stream.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string            `json:"id"`
+	ShortDescription sarifText         `json:"shortDescription"`
+	DefaultConfig    sarifConfig       `json:"defaultConfiguration"`
+	Properties       map[string]string `json:"properties,omitempty"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifConfig struct {
+	Level string `json:"level"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// sarifLevel maps dibslint severities to the SARIF level vocabulary.
+func sarifLevel(severity string) string {
+	if severity == SevWarn {
+		return "warning"
+	}
+	return "error"
+}
+
+// sarifURI makes a finding's filename uploadable: relative to root (the
+// checkout directory code scanning resolves %SRCROOT% against) when the
+// file lives under it, slash-separated either way.
+func sarifURI(root, filename string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, filename); err == nil &&
+			rel != ".." && !strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+			filename = rel
+		}
+	}
+	return filepath.ToSlash(filename)
+}
+
+// WriteSARIF emits findings as a single-run SARIF 2.1.0 log, terminated by
+// a newline. The rules table lists only rules that actually fired (sorted
+// by ID, described from the -rules catalogue), so the log stays small and
+// ruleIndex stays stable under rule-set growth. root, when non-empty, is
+// the directory paths are made relative to — pass the repository root in
+// CI so GitHub can anchor results to checkout-relative URIs.
+func WriteSARIF(w io.Writer, findings []Finding, root string) error {
+	docs := make(map[string]RuleDoc, len(AllRules()))
+	for _, d := range AllRules() {
+		docs[d.ID] = d
+	}
+
+	fired := make(map[string]bool)
+	for _, f := range findings {
+		fired[f.Rule] = true
+	}
+	ids := make([]string, 0, len(fired))
+	for id := range fired {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	rules := make([]sarifRule, 0, len(ids))
+	index := make(map[string]int, len(ids))
+	for i, id := range ids {
+		index[id] = i
+		doc, ok := docs[id]
+		if !ok {
+			doc = RuleDoc{ID: id, Doc: id, Severity: SevError}
+		}
+		rules = append(rules, sarifRule{
+			ID:               id,
+			ShortDescription: sarifText{Text: doc.Doc},
+			DefaultConfig:    sarifConfig{Level: sarifLevel(doc.Severity)},
+		})
+	}
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		results = append(results, sarifResult{
+			RuleID:    f.Rule,
+			RuleIndex: index[f.Rule],
+			Level:     sarifLevel(f.Severity),
+			Message:   sarifText{Text: f.Msg},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{
+						URI:       sarifURI(root, f.Pos.Filename),
+						URIBaseID: "%SRCROOT%",
+					},
+					Region: sarifRegion{
+						StartLine:   f.Pos.Line,
+						StartColumn: f.Pos.Column,
+					},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:  "dibslint",
+				Rules: rules,
+			}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

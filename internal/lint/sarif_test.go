@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteSARIFGolden(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixsarif", "fixsarif.go", `
+package fixsarif
+
+import "math/rand"
+
+func Roll() int { return rand.Intn(6) }
+`)
+	if len(fs) == 0 {
+		t.Fatal("fixture produced no findings; the golden check is vacuous")
+	}
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, fs, ""); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	golden := filepath.Join("testdata", "sarif_golden.sarif")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("SARIF output mismatch\n got: %s\nwant: %s", buf.Bytes(), want)
+	}
+}
+
+func TestWriteSARIFEmptyKeepsShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, nil, ""); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string            `json:"name"`
+					Rules []json.RawMessage `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []json.RawMessage `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("malformed empty log: %s", buf.String())
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "dibslint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	if run.Results == nil || len(run.Results) != 0 {
+		t.Errorf("empty findings must serialize as [], got %s", buf.String())
+	}
+	if run.Tool.Driver.Rules == nil || len(run.Tool.Driver.Rules) != 0 {
+		t.Errorf("empty rule table must serialize as [], got %s", buf.String())
+	}
+}
+
+// The URI rewriting that CI relies on: absolute paths under root become
+// checkout-relative, slash-separated; paths outside root pass through.
+func TestSARIFURIRelativeToRoot(t *testing.T) {
+	if got := sarifURI("/repo", "/repo/internal/lint/lint.go"); got != "internal/lint/lint.go" {
+		t.Errorf("under root: got %q", got)
+	}
+	if got := sarifURI("/repo", "/elsewhere/x.go"); got != "/elsewhere/x.go" {
+		t.Errorf("outside root: got %q", got)
+	}
+	if got := sarifURI("", "pkg/x.go"); got != "pkg/x.go" {
+		t.Errorf("no root: got %q", got)
+	}
+}

@@ -5,6 +5,7 @@ package netsim
 
 import (
 	"fmt"
+	"strings"
 
 	"dibs/internal/eventq"
 	"dibs/internal/transport"
@@ -341,18 +342,34 @@ func (c *Config) Validate() {
 		panic("netsim: Shards must be >= 0")
 	}
 	if c.Shards > 1 {
-		switch {
-		case c.TraceEvents:
-			panic("netsim: TraceEvents requires Shards <= 1 (the event log is a run-global ordered buffer)")
-		case c.TraceEveryNth > 0:
-			panic("netsim: packet tracing requires Shards <= 1")
-		case c.RecordTimeline:
-			panic("netsim: RecordTimeline requires Shards <= 1")
-		case c.UtilWindow > 0 || c.BufferSamplePeriod > 0:
-			panic("netsim: util/buffer monitors require Shards <= 1")
-		case c.PFC:
-			panic("netsim: PFC pause control is tighter than the link-delay lookahead; requires Shards <= 1")
-		case c.LinkDelay <= 0:
+		// Name every offending option at once, so fixing a sharded config
+		// is one edit instead of a panic-by-panic treasure hunt. The
+		// instrumentation options all share one reason: each appends to a
+		// run-global ordered buffer, which shard workers cannot feed
+		// without breaking the byte-identical-results guarantee.
+		var global []string
+		if c.TraceEvents {
+			global = append(global, "TraceEvents")
+		}
+		if c.TraceEveryNth > 0 {
+			global = append(global, "TraceEveryNth")
+		}
+		if c.RecordTimeline {
+			global = append(global, "RecordTimeline")
+		}
+		if c.UtilWindow > 0 {
+			global = append(global, "UtilWindow")
+		}
+		if c.BufferSamplePeriod > 0 {
+			global = append(global, "BufferSamplePeriod")
+		}
+		if len(global) > 0 {
+			panic(fmt.Sprintf("netsim: %s require Shards <= 1: run-global instrumentation appends to an ordered buffer no shard worker may share", strings.Join(global, ", ")))
+		}
+		if c.PFC {
+			panic("netsim: PFC requires Shards <= 1: pause feedback reacts faster than the link-delay lookahead window")
+		}
+		if c.LinkDelay <= 0 {
 			panic("netsim: Shards > 1 needs a positive LinkDelay lookahead")
 		}
 	}

@@ -1,0 +1,123 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+)
+
+// validatePanic runs cfg.Validate and returns the panic message, or "" if
+// it returned normally.
+func validatePanic(t *testing.T, cfg Config) (msg string) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			msg = r.(string)
+		}
+	}()
+	cfg.Validate()
+	return ""
+}
+
+// The sharding gate must name the specific offending options — all of
+// them at once for the run-global instrumentation family — not just
+// reject the config with a generic message.
+func TestValidateShardingNamesOffenders(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(c *Config)
+		want    []string // substrings the panic must contain
+		wantNot []string // options that are off and must not be blamed
+	}{
+		{
+			name:   "trace events",
+			mutate: func(c *Config) { c.TraceEvents = true },
+			want:   []string{"TraceEvents", "Shards <= 1"},
+		},
+		{
+			name:    "packet tracing",
+			mutate:  func(c *Config) { c.TraceEveryNth = 10 },
+			want:    []string{"TraceEveryNth"},
+			wantNot: []string{"TraceEvents,", "RecordTimeline"},
+		},
+		{
+			name:   "timeline",
+			mutate: func(c *Config) { c.RecordTimeline = true },
+			want:   []string{"RecordTimeline"},
+		},
+		{
+			name:   "util monitor",
+			mutate: func(c *Config) { c.UtilWindow = 100 },
+			want:   []string{"UtilWindow"},
+		},
+		{
+			name:   "buffer monitor",
+			mutate: func(c *Config) { c.BufferSamplePeriod = 100 },
+			want:   []string{"BufferSamplePeriod"},
+		},
+		{
+			name: "all instrumentation at once",
+			mutate: func(c *Config) {
+				c.TraceEvents = true
+				c.TraceEveryNth = 10
+				c.RecordTimeline = true
+				c.UtilWindow = 100
+				c.BufferSamplePeriod = 100
+			},
+			want: []string{"TraceEvents", "TraceEveryNth", "RecordTimeline", "UtilWindow", "BufferSamplePeriod"},
+		},
+		{
+			name: "pfc",
+			mutate: func(c *Config) {
+				c.DIBS = false
+				c.Buffer = BufferShared
+				c.PFC = true
+			},
+			want:    []string{"PFC", "lookahead"},
+			wantNot: []string{"TraceEvents"},
+		},
+		{
+			name:   "zero link delay",
+			mutate: func(c *Config) { c.LinkDelay = 0 },
+			want:   []string{"LinkDelay", "lookahead"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := smallConfig()
+			cfg.Shards = 2
+			tc.mutate(&cfg)
+			msg := validatePanic(t, cfg)
+			if msg == "" {
+				t.Fatal("Validate accepted an unshardable config")
+			}
+			for _, w := range tc.want {
+				if !strings.Contains(msg, w) {
+					t.Errorf("panic %q does not name %q", msg, w)
+				}
+			}
+			for _, w := range tc.wantNot {
+				if strings.Contains(msg, w) {
+					t.Errorf("panic %q blames %q, which is not set", msg, w)
+				}
+			}
+		})
+	}
+}
+
+func TestValidateShardingAcceptsCleanConfig(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Shards = 4
+	if msg := validatePanic(t, cfg); msg != "" {
+		t.Fatalf("clean sharded config rejected: %s", msg)
+	}
+	// The same options are fine unsharded.
+	cfg = smallConfig()
+	cfg.TraceEvents = true
+	cfg.RecordTimeline = true
+	cfg.DIBS = false
+	cfg.Buffer = BufferShared
+	cfg.PFC = true
+	if msg := validatePanic(t, cfg); msg != "" {
+		t.Fatalf("unsharded instrumentation rejected: %s", msg)
+	}
+}

@@ -1,5 +1,7 @@
 package packet
 
+import "fmt"
+
 // Wire is a value-type snapshot of a Packet's simulation-visible fields,
 // the form in which a packet crosses a shard boundary in the sharded PDES
 // engine. The pooled node itself never travels: the sending shard snapshots
@@ -10,6 +12,8 @@ package packet
 //
 // Trace is deliberately absent: packet tracing shares an append-only buffer
 // across the run and is rejected by Config.Validate for sharded runs.
+//
+//dibslint:confined immutable a pointer-free value copy; safe to cross shards by value
 type Wire struct {
 	Kind         Kind
 	Flow         FlowID
@@ -29,6 +33,8 @@ type Wire struct {
 }
 
 // Snapshot captures p's simulation-visible state for a shard crossing.
+//
+//dibslint:confined shard called by the emitting worker; the node must return to the source arena before the snapshot is emitted
 func (p *Packet) Snapshot() Wire {
 	return Wire{
 		Kind:         p.Kind,
@@ -51,8 +57,16 @@ func (p *Packet) Snapshot() Wire {
 
 // Restore writes the snapshot into a freshly borrowed pooled node (whose
 // pool bookkeeping Get already reset), completing the custody transfer on
-// the receiving shard.
+// the receiving shard. Under StrictFree, restoring into a node that is
+// sitting in a freelist (a double adoption, or a stale alias of a freed
+// node) panics: the node belongs to the pool, and writing into it would
+// corrupt whatever borrows it next.
+//
+//dibslint:confined shard called by the destination worker on a node freshly adopted from its own arena
 func (w Wire) Restore(p *Packet) {
+	if p.pooled && StrictFree {
+		panic(fmt.Sprintf("packet: Restore into pooled node %s (gen %d); adopt with Pool.Get before restoring", p, p.gen))
+	}
 	p.Kind = w.Kind
 	p.Flow = w.Flow
 	p.Src = w.Src

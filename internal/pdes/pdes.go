@@ -22,11 +22,12 @@
 // what the cross-shard-count determinism test pins.
 //
 // This package is the one place below the run boundary where goroutines
-// are allowed (dibslint nondet-goroutine allowlists it): one persistent
-// worker per shard, commanded over channels. All shard state is owned by
-// its worker during a window and by the coordinator between windows; the
-// channel sends are the happens-before edges, which the -race proof in
-// scripts/check.sh exercises.
+// are allowed: Run is declared //dibslint:confined coordinator, so the
+// shard-escape rule checks every value its workers capture instead of the
+// blanket nondet-goroutine allowlist this package used to carry. All shard
+// state is owned by its worker during a window and by the coordinator
+// between windows; the channel sends are the happens-before edges, which
+// the -race proof in scripts/check.sh exercises.
 package pdes
 
 import (
@@ -57,6 +58,8 @@ type Message struct {
 	Dst int
 	// Deliver schedules nothing itself: the coordinator hands it to
 	// inject, which schedules it on the destination shard at (At, Pri).
+	//
+	//dibslint:confined shard built by the emitting worker, executed by the destination worker; custody crosses only at the barrier
 	Deliver func()
 }
 
@@ -74,6 +77,11 @@ type Message struct {
 // lookahead must be the minimum cross-shard link latency (> 0); until is
 // the virtual end of the run. Panics on invalid arguments rather than
 // limping into a lookahead violation.
+//
+//dibslint:confined coordinator the barrier loop runs between windows only; cmd/done sends are the happens-before edges to every worker
+//dibslint:confined(runWindow) shard invoked only from the owning shard's worker goroutine, one window at a time
+//dibslint:confined(flush) coordinator called only between windows, after every worker has parked on cmd
+//dibslint:confined(inject) coordinator called only between windows, in globally sorted message order
 func Run(nShards int, lookahead, until eventq.Time,
 	runWindow func(shard int, limit eventq.Time),
 	flush func(shard int) []Message,

@@ -27,6 +27,19 @@ go vet ./...
 step "dibslint"
 go run ./cmd/dibslint -tests ./...
 
+# The shard-confinement proof must hold with zero suppressions: the PDES
+# engine and its netsim sharding layer may not carry any //dibslint:ignore
+# without a reason, and must lint clean on their own.
+step "dibslint shard confinement (zero suppressions)"
+go run ./cmd/dibslint ./internal/pdes ./internal/netsim
+bare_ignores=$(grep -rn '//dibslint:ignore[[:space:]]*$\|//dibslint:ignore[[:space:]]\+[a-z-]\+[[:space:]]*$' \
+    internal/pdes internal/netsim --include='*.go' || true)
+if [ -n "$bare_ignores" ]; then
+    echo "reason-less //dibslint:ignore directives in shard packages:" >&2
+    echo "$bare_ignores" >&2
+    exit 1
+fi
+
 step "go build"
 go build ./...
 
