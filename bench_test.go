@@ -110,6 +110,48 @@ func benchThroughput(b *testing.B, engine string) {
 	b.ReportMetric(float64(pkts)/float64(b.N), "pkts/op")
 }
 
+// BenchmarkHybridThroughput measures the hybrid fluid/packet fast path on
+// the workload it exists for: a long-flow-dominated run where every flow
+// demotes to the rate model after its cwnd stabilizes (DESIGN §9). The
+// fluidMB/op metric confirms the rate model carried the bulk of the bytes;
+// cmd/bench separately times the identical workload in packet mode and
+// gates the wall-clock ratio (hybrid_speedup in BENCH_9.json).
+func BenchmarkHybridThroughput(b *testing.B) {
+	b.ReportAllocs()
+	var events, fluidBytes uint64
+	for i := 0; i < b.N; i++ {
+		cfg := hybridBenchConfig()
+		cfg.Seed = int64(i + 1)
+		n := dibs.Build(cfg)
+		r := n.Run()
+		if r.FluidDemotions == 0 {
+			b.Fatal("no long flow demoted to the rate model")
+		}
+		events += n.Sched.Executed()
+		fluidBytes += r.FluidBytes
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+	b.ReportMetric(float64(fluidBytes)/float64(b.N)/(1<<20), "fluidMB/op")
+}
+
+// hybridBenchConfig is the long-background-flows workload shared by
+// BenchmarkHybridThroughput and cmd/bench's hybrid-speedup probe: a K=4
+// fat-tree saturated by one long flow per adjacent host pair, NICs marking
+// like the fabric so the flows reach the stationary DCTCP steady state the
+// rate model is calibrated for.
+func hybridBenchConfig() dibs.Config {
+	cfg := dibs.DefaultConfig()
+	cfg.FatTreeK = 4
+	cfg.Query = nil
+	cfg.BGInterarrival = 0
+	cfg.Long = &dibs.LongFlows{PerPair: 1}
+	cfg.HostMarkAtPkts = 20
+	cfg.Mode = dibs.ModeHybrid
+	cfg.Duration = 300 * dibs.Millisecond
+	cfg.Drain = 0
+	return cfg
+}
+
 // BenchmarkPacketPool measures the steady-state borrow/return cycle of the
 // packet arena. It must report 0 allocs/op: any allocation here means the
 // pool is not recycling and the per-packet hot path regressed (cmd/bench

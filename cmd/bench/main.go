@@ -3,11 +3,12 @@
 //
 // It runs the headline Go benchmarks (BenchmarkSimulatorThroughput under
 // both scheduler engines, BenchmarkIncastBurst, BenchmarkPacketPool,
-// BenchmarkNextHops) as a `go test -bench` subprocess, times a fixed
-// small-scale fig08+fig09 pass (recording a heap summary around it), a
-// K=16 shard-speedup probe (4 conservative-PDES shards vs 1), and a full
-// `-all -scale 0.1` experiments pass in-process, and writes the numbers as
-// JSON. The throughput benchmark also reports pkts/op, from which
+// BenchmarkNextHops, BenchmarkHybridThroughput) as a `go test -bench`
+// subprocess, times a fixed small-scale fig08+fig09 pass (recording a heap
+// summary around it), a K=16 shard-speedup probe (4 conservative-PDES
+// shards vs 1), a hybrid-speedup probe (packet vs hybrid mode on the
+// long-background-flows workload), and a full `-all -scale 0.1`
+// experiments pass in-process, and writes the numbers as JSON. The throughput benchmark also reports pkts/op, from which
 // allocs_per_packet is derived — the headline number of the
 // zero-allocation packet path. Running the wheel and heap engines
 // back-to-back in one process makes their ratio robust to machine noise;
@@ -15,13 +16,14 @@
 //
 // Usage:
 //
-//	bench -out BENCH_8.json              # measure and write the baseline
-//	bench -compare BENCH_8.json          # measure and gate: exit 1 on a
+//	bench -out BENCH_9.json              # measure and write the baseline
+//	bench -compare BENCH_9.json          # measure and gate: exit 1 on a
 //	                                     # >20% events/sec loss, a >20%
 //	                                     # allocs/op growth (throughput or
 //	                                     # incast), more than 0.9 allocs
 //	                                     # per packet, any allocation in
-//	                                     # the packet pool, or (with >= 4
+//	                                     # the packet pool, a hybrid-mode
+//	                                     # speedup < 5x, or (with >= 4
 //	                                     # procs) a 4-shard speedup < 2x
 //	bench -out B.json -skip-all          # skip the slow -all pass
 package main
@@ -61,6 +63,12 @@ type Baseline struct {
 	// win — the number is still recorded for transparency, but the >= 2x
 	// gate only applies when GOMAXPROCS >= 4.
 	ShardSpeedup float64 `json:"shard_speedup,omitempty"`
+	// HybridSpeedup is the wall-clock ratio of a packet-mode run over a
+	// hybrid-mode run of the same long-background-flows workload (the
+	// BenchmarkHybridThroughput config). Unlike ShardSpeedup it needs no
+	// extra cores — the rate model wins by simulating fewer events, not by
+	// parallelism — so the >= 5x gate applies unconditionally.
+	HybridSpeedup float64 `json:"hybrid_speedup,omitempty"`
 }
 
 // HeapSummary is a runtime.MemStats delta over a measured pass — the
@@ -97,6 +105,13 @@ const regressionTolerance = 0.20
 // minShardSpeedup is the events/sec ratio a 4-shard K=16 run must reach
 // over the 1-shard run when the machine actually has 4 procs to run them on.
 const minShardSpeedup = 2.0
+
+// minHybridSpeedup is the wall-clock factor the hybrid fluid/packet mode
+// must gain over full packet fidelity on the long-background-flows
+// workload. The rate model replaces ~per-packet events with coarse ticks,
+// so the measured ratio sits far above this floor; 5x leaves room for the
+// packet-fidelity warm-up before the flows demote.
+const minHybridSpeedup = 5.0
 
 // maxAllocsPerPacket is the absolute ceiling on steady-state allocations
 // per simulated packet, gated independently of the stored baseline. The
@@ -137,6 +152,10 @@ func main() {
 	fmt.Fprintln(os.Stderr, "== shard speedup (K=16, 4 shards vs 1)")
 	b.ShardSpeedup = measureShardSpeedup()
 	fmt.Fprintf(os.Stderr, "   %.2fx at GOMAXPROCS=%d\n", b.ShardSpeedup, b.GOMAXPROCS)
+
+	fmt.Fprintln(os.Stderr, "== hybrid speedup (long flows, packet vs hybrid)")
+	b.HybridSpeedup = measureHybridSpeedup()
+	fmt.Fprintf(os.Stderr, "   %.2fx\n", b.HybridSpeedup)
 
 	if !*skipAll {
 		fmt.Fprintln(os.Stderr, "== all experiments (scale 0.1)")
@@ -181,7 +200,7 @@ var metricRe = regexp.MustCompile(`([\d.e+]+)\s+(\S+)`)
 // the results into b.
 func runGoBench(b *Baseline) error {
 	cmd := exec.Command("go", "test", "-run", "^$",
-		"-bench", "^(BenchmarkSimulatorThroughput|BenchmarkSimulatorThroughputHeap|BenchmarkIncastBurst|BenchmarkPacketPool|BenchmarkNextHops)$",
+		"-bench", "^(BenchmarkSimulatorThroughput|BenchmarkSimulatorThroughputHeap|BenchmarkIncastBurst|BenchmarkPacketPool|BenchmarkNextHops|BenchmarkHybridThroughput)$",
 		"-benchmem", ".")
 	cmd.Stderr = os.Stderr
 	outBytes, err := cmd.Output()
@@ -257,6 +276,36 @@ func measureShardSpeedup() float64 {
 	four := run(4)
 	fmt.Fprintf(os.Stderr, "   1 shard: %.0f events/sec, 4 shards: %.0f events/sec\n", one, four)
 	return four / one
+}
+
+// measureHybridSpeedup times the long-background-flows workload (the
+// BenchmarkHybridThroughput config: K=4 fat-tree, one long flow per
+// adjacent host pair, marking NICs) at full packet fidelity and in hybrid
+// mode, returning the wall-clock ratio. Hybrid runs the same flows as
+// packets until their cwnds stabilize, then hands the bulk of the bytes to
+// the rate model, so the ratio is the real end-to-end payoff of the fast
+// path — not an events-only accounting trick.
+func measureHybridSpeedup() float64 {
+	run := func(mode netsim.SimMode) float64 {
+		cfg := netsim.DefaultConfig()
+		cfg.FatTreeK = 4
+		cfg.Seed = 7
+		cfg.Query = nil
+		cfg.BGInterarrival = 0
+		cfg.Long = &netsim.LongFlows{PerPair: 1}
+		cfg.HostMarkAtPkts = 20
+		cfg.Mode = mode
+		cfg.Duration = 300 * eventq.Millisecond
+		cfg.Drain = 0
+		n := netsim.Build(cfg)
+		start := time.Now()
+		n.Run()
+		return time.Since(start).Seconds()
+	}
+	pkt := run(netsim.ModePacket)
+	hyb := run(netsim.ModeHybrid)
+	fmt.Fprintf(os.Stderr, "   packet: %.2fs, hybrid: %.2fs\n", pkt, hyb)
+	return pkt / hyb
 }
 
 // timeExperiments runs the named experiments at the fixed baseline setting
@@ -363,6 +412,14 @@ func gate(path string, got Baseline) error {
 	if got.ShardSpeedup > 0 {
 		fmt.Fprintf(os.Stderr, "shard speedup: %.2fx at GOMAXPROCS=%d (gated >= %.1fx when GOMAXPROCS >= 4)\n",
 			got.ShardSpeedup, got.GOMAXPROCS, minShardSpeedup)
+	}
+	if got.HybridSpeedup > 0 {
+		if got.HybridSpeedup < minHybridSpeedup {
+			return fmt.Errorf("hybrid speedup %.2fx is below the %.1fx floor",
+				got.HybridSpeedup, minHybridSpeedup)
+		}
+		fmt.Fprintf(os.Stderr, "hybrid speedup: %.2fx (gated >= %.1fx)\n",
+			got.HybridSpeedup, minHybridSpeedup)
 	}
 	return nil
 }

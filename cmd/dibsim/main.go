@@ -57,6 +57,7 @@ func main() {
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		engine   = flag.String("engine", "wheel", "scheduler engine: wheel|heap (results are byte-identical; heap is the differential reference)")
 		shards   = flag.Int("shards", 1, "conservative-PDES scheduler shards within one run (results are byte-identical for any count; >1 forbids -events)")
+		mode     = flag.String("mode", "packet", "simulation fidelity: packet|fluid|hybrid (fluid/hybrid rate-model long flows; see DESIGN §9 for the options they exclude)")
 	)
 	flag.Parse()
 
@@ -88,7 +89,7 @@ func main() {
 			qps: *qps, degree: *degree, respKB: *respKB, bgIAms: *bgIAms,
 			duration: *duration, drain: *drain, seed: *seed, fairN: *fairN,
 			pfc: *pfc, spray: *spray, delack: *delack, engine: *engine,
-			shards: *shards,
+			shards: *shards, mode: *mode,
 		})
 	}
 	if *events != "" {
@@ -138,7 +139,7 @@ func runRepeat(cfg dibs.Config, repeat, workers int) {
 // flags bundles the command-line tuning knobs.
 type flags struct {
 	topo, bufMode, policy, tp   string
-	engine                      string
+	engine, mode                string
 	k, oversub, buffer, markAt  int
 	ttl, dupack, degree, fairN  int
 	shards                      int
@@ -243,6 +244,17 @@ func applyFlags(cfg *dibs.Config, f flags) {
 		os.Exit(2)
 	}
 	cfg.Shards = f.shards
+	switch f.mode {
+	case "packet":
+		cfg.Mode = dibs.ModePacket
+	case "fluid":
+		cfg.Mode = dibs.ModeFluid
+	case "hybrid":
+		cfg.Mode = dibs.ModeHybrid
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", f.mode)
+		os.Exit(2)
+	}
 }
 
 func runIt(cfg dibs.Config, confOut, events string) {
@@ -287,6 +299,10 @@ func runIt(cfg dibs.Config, confOut, events string) {
 		res.Timeouts, res.Retransmits, res.FastRecovers)
 	if len(res.LongGoodputs) > 0 {
 		fmt.Printf("fairness  Jain %.3f over %d long flows\n", res.JainIndex, len(res.LongGoodputs))
+	}
+	if res.FluidBytes > 0 {
+		fmt.Printf("fluid  %d bytes rate-modeled  %d demotions  %d promotions  %d flows still fluid\n",
+			res.FluidBytes, res.FluidDemotions, res.FluidPromotions, res.FluidFlows)
 	}
 	fmt.Fprintf(os.Stderr, "[wall %.1fs]\n", time.Since(start).Seconds())
 }

@@ -73,6 +73,9 @@ type TopoKind = netsim.TopoKind
 // BufferMode selects the switch queue discipline.
 type BufferMode = netsim.BufferMode
 
+// SimMode selects the simulation fidelity mode (DESIGN §9).
+type SimMode = netsim.SimMode
+
 // DetourPolicy names a DIBS detour policy.
 type DetourPolicy = netsim.DetourPolicy
 
@@ -103,6 +106,15 @@ const (
 	BufferInfinite = netsim.BufferInfinite
 	BufferShared   = netsim.BufferShared
 	BufferPFabric  = netsim.BufferPFabric
+)
+
+// Simulation fidelity modes: full per-packet simulation (the default),
+// pure rate-model long flows, or the hybrid that demotes stable long flows
+// to the rate model and promotes them back under incast (DESIGN §9).
+const (
+	ModePacket = netsim.ModePacket
+	ModeFluid  = netsim.ModeFluid
+	ModeHybrid = netsim.ModeHybrid
 )
 
 // Detour policies (§2 default and the §7 variants).

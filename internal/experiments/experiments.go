@@ -38,6 +38,13 @@ type Opts struct {
 	// Shards sets the conservative-PDES shard count for every run
 	// (<=1 sequential); results are byte-identical for any value.
 	Shards int
+	// Mode, when non-empty, overrides the simulation mode ("packet",
+	// "fluid" or "hybrid") for every run. Unlike Engine/Shards this CAN
+	// change results: fluid and hybrid trade per-packet fidelity for
+	// speed (DESIGN §9). Experiments whose configs a non-packet mode
+	// cannot express (query fan-in, tracing, PFC, ...) fail fast in
+	// netsim.Config.Validate.
+	Mode netsim.SimMode
 	// Log, when non-nil, receives progress lines.
 	Log func(format string, args ...any)
 }
@@ -210,6 +217,9 @@ func (o *Opts) paperConfig(base eventq.Time) netsim.Config {
 func (o *Opts) run(label string, cfg netsim.Config) *netsim.Results {
 	cfg.Engine = o.Engine
 	cfg.Shards = o.Shards
+	if o.Mode != "" {
+		cfg.Mode = o.Mode
+	}
 	r := netsim.Build(cfg).Run()
 	o.logf("%-40s %s", label, r)
 	return r
@@ -242,6 +252,9 @@ func (o *Opts) runPoints(points []point) []*netsim.Results {
 		cfg := points[i].cfg
 		cfg.Engine = o.Engine
 		cfg.Shards = o.Shards
+		if o.Mode != "" {
+			cfg.Mode = o.Mode
+		}
 		return netsim.Build(cfg).Run()
 	})
 	for i, r := range results {

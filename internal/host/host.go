@@ -18,6 +18,11 @@ type Host struct {
 	senders   map[packet.FlowID]*transport.Sender
 	receivers map[packet.FlowID]*transport.Receiver
 
+	// sendFn is Send bound once at Init: every flow's transport.Env wants
+	// an emit func, and taking the method value per flow would allocate a
+	// fresh binding each time.
+	sendFn func(p *packet.Packet)
+
 	// OnDeliver, when set, observes every packet arriving at this host
 	// (metrics). Called before demultiplexing.
 	OnDeliver func(p *packet.Packet)
@@ -41,8 +46,12 @@ func New(id packet.NodeID) *Host { return new(Host).Init(id) }
 // defined and miss).
 func (h *Host) Init(id packet.NodeID) *Host {
 	h.ID = id
+	h.sendFn = h.Send
 	return h
 }
+
+// SendFn returns Send bound once at Init (see sendFn).
+func (h *Host) SendFn() func(p *packet.Packet) { return h.sendFn }
 
 // Send enqueues a locally generated packet on the NIC. A refused packet is
 // a terminal path: the host counts it and returns it to the pool.

@@ -1,0 +1,119 @@
+package lint
+
+import "testing"
+
+// The fluid engine is where float rates and coarse virtual-time ticks meet,
+// the two things the determinism suite exists to police. These fixtures pin
+// the suite on fluid-shaped code: rate accumulators compared exactly,
+// tick lengths typed as time.Duration, and raw-nanosecond tick literals —
+// each of which would make hybrid runs drift across platforms or refactors.
+
+func TestFluidStyleRateComparisons(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixfluidrate", "fixfluidrate.go", `
+package fixfluidrate
+
+// solver-style max-min loop with exact float comparisons on rates.
+type flow struct {
+	rate float64
+	prev float64
+}
+
+func Converged(fl []*flow) bool {
+	for _, f := range fl {
+		if f.rate == f.prev { // exact equality on an accumulated rate
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+func ShareChanged(share, last float64) bool {
+	return share != last // same bug, != spelling
+}
+`)
+	assertRule(t, fs, "float-eq", 2)
+}
+
+func TestFluidStyleVirtualTimeMisuse(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixfluidtick", "fixfluidtick.go", `
+package fixfluidtick
+
+import (
+	"time"
+
+	"dibs/internal/eventq"
+)
+
+// A tick period held as wall-clock Duration instead of eventq.Time.
+type Engine struct {
+	Tick time.Duration
+}
+
+func (e *Engine) Arm(s *eventq.Scheduler) {
+	s.After(100_000, func() {}) // raw 100µs tick as a bare ns literal
+	_ = e.Tick
+}
+`)
+	assertRule(t, fs, "vtime-duration", 1)
+	assertRule(t, fs, "vtime-rawns", 1)
+}
+
+func TestFluidStyleCleanPatterns(t *testing.T) {
+	fs := lintFixture(t, "dibs/internal/fixfluidok", "fixfluidok.go", `
+package fixfluidok
+
+import "dibs/internal/eventq"
+
+const rateEps = 1e-9
+
+type flow struct {
+	rate float64
+	prev float64
+}
+
+// Tolerance compares and eventq-typed ticks are the sanctioned spellings.
+func Converged(fl []*flow) bool {
+	for _, f := range fl {
+		d := f.rate - f.prev
+		if d < 0 {
+			d = -d
+		}
+		if d > rateEps*f.prev {
+			return false
+		}
+	}
+	return true
+}
+
+type Engine struct {
+	Tick eventq.Time
+}
+
+func (e *Engine) Arm(s *eventq.Scheduler) {
+	s.After(100*eventq.Microsecond, func() {})
+}
+`)
+	if len(fs) != 0 {
+		for _, f := range fs {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+}
+
+// TestRealFluidPackageClean is the acceptance gate: the production fluid
+// solver passes the full suite — no exact float compares, no wall-clock
+// durations, every tick spelled in eventq units.
+func TestRealFluidPackageClean(t *testing.T) {
+	l := loaderForTest(t)
+	pkg, err := l.Load("dibs/internal/fluid")
+	if err != nil {
+		t.Fatalf("Load(dibs/internal/fluid): %v", err)
+	}
+	fs := l.Run([]*Package{pkg}, Analyzers())
+	if len(fs) != 0 {
+		for _, f := range fs {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+}

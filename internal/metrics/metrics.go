@@ -76,6 +76,9 @@ type Collector struct {
 
 	flows   map[packet.FlowID]*FlowInfo
 	queries map[int]*queryState
+	// flowBlock is the spare tail of the current FlowInfo block (see
+	// FlowStartedAt).
+	flowBlock []FlowInfo
 
 	// QCTs holds completed query completion times in milliseconds.
 	QCTs stats.Sample
@@ -180,13 +183,22 @@ func (c *Collector) FlowStarted(id packet.FlowID, class FlowClass, bytes int64, 
 // shard's collector before the run begins, so drop/detour class attribution
 // works in whichever shard a packet happens to be when the hook fires.
 func (c *Collector) FlowStartedAt(id packet.FlowID, class FlowClass, bytes int64, queryID int, at eventq.Time) {
-	c.flows[id] = &FlowInfo{
+	// Carve FlowInfos from a block: one allocation per 64 flows instead of
+	// one each. Earlier pointers stay valid across refills — only the spare
+	// capacity is re-sliced away, never the handed-out prefix.
+	if len(c.flowBlock) == 0 {
+		c.flowBlock = make([]FlowInfo, 64)
+	}
+	f := &c.flowBlock[0]
+	c.flowBlock = c.flowBlock[1:]
+	*f = FlowInfo{
 		ID:      id,
 		Class:   class,
 		Bytes:   bytes,
 		QueryID: queryID,
 		Start:   at,
 	}
+	c.flows[id] = f
 }
 
 // FlowDone marks a flow complete, updating FCT samples and any parent

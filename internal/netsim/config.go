@@ -54,6 +54,24 @@ const (
 	ArchCIOQ SwitchArch = "cioq"
 )
 
+// SimMode selects the simulation fidelity (DESIGN §9, hybrid fast path).
+type SimMode string
+
+const (
+	// ModePacket is full per-packet fidelity (default; the empty string
+	// means the same).
+	ModePacket SimMode = "packet"
+	// ModeFluid models every configured flow as a piecewise-constant
+	// rate process — a throughput mode for sweep-scale runs; transient
+	// per-packet physics (detours, drops, retransmissions) are not
+	// simulated for modeled flows.
+	ModeFluid SimMode = "fluid"
+	// ModeHybrid keeps packet fidelity where DIBS needs it: flows start
+	// as packets, demote to fluid after a stable-cwnd threshold, and
+	// promote back when a port on their path enters the incast regime.
+	ModeHybrid SimMode = "hybrid"
+)
+
 // BGDistribution names a background flow-size distribution.
 type BGDistribution string
 
@@ -202,6 +220,13 @@ type Config struct {
 	BufferSamplePeriod eventq.Time
 	// HostQueuePkts is the host NIC queue depth.
 	HostQueuePkts int
+	// HostMarkAtPkts, when > 0, ECN-marks at the host NIC queue at that
+	// threshold, as DCTCP deployments do on end hosts. The default 0
+	// leaves NICs unmarked (deep FIFO bufferbloat), matching the paper's
+	// switch-only marking setup. Marked NICs give long flows a stationary
+	// NIC-bottleneck steady state, which is the regime the hybrid mode's
+	// standing-queue abstraction models faithfully (DESIGN §9).
+	HostMarkAtPkts int
 	// Engine selects the scheduler's internal priority structure: "wheel"
 	// (default, also the empty string) or "heap". The two engines realize
 	// the same (at, seq) event order, so results are byte-identical; the
@@ -213,6 +238,29 @@ type Config struct {
 	// DCTCP flows phase-lock on the deterministic marking threshold and
 	// share bandwidth unfairly. 0 disables.
 	ForwardJitter eventq.Time
+	// Mode selects the simulation fidelity: "packet" (default, also the
+	// empty string), "fluid", or "hybrid" (DESIGN §9). Fluid and hybrid
+	// reject run-global options the rate model cannot honor yet; see
+	// Validate.
+	Mode SimMode
+	// FluidTick is the fluid engine's time resolution (0 = 100 us): rate
+	// re-solves, byte credits, and demote/promote decisions all happen on
+	// tick boundaries.
+	FluidTick eventq.Time
+	// FluidStableWindows is the consecutive stable-cwnd window count after
+	// which a hybrid-mode flow demotes to fluid (0 = 8).
+	FluidStableWindows int
+	// FluidMinBytes is the smallest flow (and smallest remaining transfer)
+	// eligible for fluid custody (0 = 1 MB). Short flows — the paper's
+	// query traffic — always stay packets.
+	FluidMinBytes int64
+	// FluidPromoteFrac is the fraction of a port's queue capacity —
+	// counting both real packets and the folded fluid share — at which
+	// fluid flows crossing the port promote back to packets (0 = 0.5).
+	// Half the buffer is well above any steady-state standing queue yet
+	// fires early in a genuine incast, while per-packet physics (detours,
+	// drops, retransmissions) still have headroom to matter.
+	FluidPromoteFrac float64
 	// Shards partitions the network across that many conservative-PDES
 	// scheduler shards (DESIGN §10): pods stay together, cores spread
 	// round-robin, hosts follow their edge switch, and shards run
@@ -271,6 +319,11 @@ func DefaultConfig() Config {
 
 		HostQueuePkts: 100_000,
 		ForwardJitter: 2 * eventq.Microsecond,
+
+		FluidTick:          100 * eventq.Microsecond,
+		FluidStableWindows: 8,
+		FluidMinBytes:      1 << 20,
+		FluidPromoteFrac:   0.5,
 
 		Arch:           ArchOutputQueued,
 		CIOQIngressCap: 100,
@@ -335,6 +388,9 @@ func (c *Config) Validate() {
 	if c.HostQueuePkts < 1 {
 		panic("netsim: host queue must hold >= 1 packet")
 	}
+	if c.HostMarkAtPkts < 0 {
+		panic("netsim: HostMarkAtPkts must be >= 0 (0 disables NIC marking)")
+	}
 	if _, err := eventq.ParseEngine(c.Engine); err != nil {
 		panic(err.Error())
 	}
@@ -372,6 +428,53 @@ func (c *Config) Validate() {
 		if c.LinkDelay <= 0 {
 			panic("netsim: Shards > 1 needs a positive LinkDelay lookahead")
 		}
+	}
+	switch c.Mode {
+	case "", ModePacket:
+	case ModeFluid, ModeHybrid:
+		// Mirror the sharding check: name every offending option at once.
+		// Each of these either observes per-packet state that fluid flows
+		// never generate (the instrumentation would silently misreport) or
+		// configures a mechanism the rate model does not fold into.
+		var bad []string
+		if c.Shards > 1 {
+			bad = append(bad, "Shards") // the engine is a run-global controller on one clock
+		}
+		if c.PFC {
+			bad = append(bad, "PFC") // pause state is not in the rate solver
+		}
+		if c.Arch == ArchCIOQ {
+			bad = append(bad, "Arch=cioq") // occupancy folds into OQ egress queues only
+		}
+		if c.Buffer == BufferPFabric {
+			bad = append(bad, "Buffer=pfabric") // a priority queue has no FIFO depth to fold into
+		}
+		if c.PacketSpray {
+			bad = append(bad, "PacketSpray") // fluid paths replicate flow-ECMP; sprayed traffic has no single path
+		}
+		if c.TraceEvents {
+			bad = append(bad, "TraceEvents")
+		}
+		if c.TraceEveryNth > 0 {
+			bad = append(bad, "TraceEveryNth")
+		}
+		if c.RecordTimeline {
+			bad = append(bad, "RecordTimeline")
+		}
+		if c.UtilWindow > 0 {
+			bad = append(bad, "UtilWindow")
+		}
+		if c.BufferSamplePeriod > 0 {
+			bad = append(bad, "BufferSamplePeriod")
+		}
+		if len(bad) > 0 {
+			panic(fmt.Sprintf("netsim: %s cannot combine with Mode=%s: fluid-modeled flows emit no packets for these to observe or control", strings.Join(bad, ", "), c.Mode))
+		}
+		if c.FluidTick < 0 || c.FluidStableWindows < 0 || c.FluidMinBytes < 0 || c.FluidPromoteFrac < 0 {
+			panic("netsim: fluid tunables must be >= 0 (0 selects the default)")
+		}
+	default:
+		panic(fmt.Sprintf("netsim: unknown simulation mode %q", c.Mode))
 	}
 	switch c.Topo {
 	case TopoFatTree, TopoClick, TopoLinear, TopoJellyfish, TopoHyperX:

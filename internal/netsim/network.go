@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"fmt"
+	"strconv"
 
 	"dibs/internal/core"
 	"dibs/internal/eventq"
@@ -47,6 +48,9 @@ type Network struct {
 	// shard.
 	shards []*shardCtx
 	part   []int
+
+	// fluid is non-nil in fluid/hybrid mode (see fluid.go).
+	fluid *fluidState
 
 	nextFlow packet.FlowID
 
@@ -157,13 +161,16 @@ func Build(cfg Config) *Network {
 		return op
 	}
 	hostBlock := make([]host.Host, len(n.Topo.Hosts()))
+	// DropTail queues (every NIC, and every switch port in drop-tail
+	// configs) carve from one arena, like the port and host blocks above.
+	var qArena queue.DropTailArena
 
 	// Hosts first (their NICs are simple), then switches.
 	for hi, hid := range n.Topo.Hosts() {
 		h := hostBlock[hi].Init(hid)
 		sh := n.shards[n.part[hid]]
 		p := n.Topo.Ports(hid)[0]
-		nic := finishPort(switching.InitOutPort(nextPort(), sh.sched, queue.NewDropTail(cfg.HostQueuePkts, 0),
+		nic := finishPort(switching.InitOutPort(nextPort(), sh.sched, qArena.New(cfg.HostQueuePkts, cfg.HostMarkAtPkts),
 			p.RateBps, p.Delay, portRef{n, p.Peer}, p.PeerPort), hid, 0, p.Peer, p.PeerPort)
 		h.NIC = nic
 		h.OnDeliver = sh.coll.OnDeliver
@@ -197,10 +204,12 @@ func Build(cfg Config) *Network {
 			pool = queue.NewSharedPool(cfg.SharedPoolPkts, cfg.SharedAlpha, cfg.SharedReserve)
 		}
 		for pi, p := range n.Topo.Ports(sid) {
-			ports = append(ports, finishPort(switching.InitOutPort(nextPort(), sh.sched, n.makeQueue(pool),
+			ports = append(ports, finishPort(switching.InitOutPort(nextPort(), sh.sched, n.makeQueue(pool, &qArena),
 				p.RateBps, p.Delay, portRef{n, p.Peer}, p.PeerPort), sid, pi, p.Peer, p.PeerPort))
 		}
-		swRng := rng.New(cfg.Seed, fmt.Sprintf("switch/%d", sid))
+		// strconv, not Sprintf: same stream name, so the derived seed (and
+		// every golden) is unchanged, without the printf machinery per switch.
+		swRng := rng.New(cfg.Seed, "switch/"+strconv.Itoa(int(sid)))
 		hooks := hooksBy[n.part[sid]]
 		var node switching.Node
 		if cfg.Arch == ArchCIOQ {
@@ -221,6 +230,9 @@ func Build(cfg Config) *Network {
 
 	if cfg.PFC {
 		n.enablePFC()
+	}
+	if cfg.mode() != ModePacket {
+		n.buildFluid()
 	}
 	n.installMonitors()
 	return n
@@ -283,11 +295,11 @@ func buildTopo(cfg Config) *topology.Topology {
 	}
 }
 
-func (n *Network) makeQueue(pool *queue.SharedPool) queue.Queue {
+func (n *Network) makeQueue(pool *queue.SharedPool, arena *queue.DropTailArena) queue.Queue {
 	cfg := &n.Cfg
 	switch cfg.Buffer {
 	case BufferDropTail:
-		return queue.NewDropTail(cfg.BufferPkts, cfg.MarkAtPkts)
+		return arena.New(cfg.BufferPkts, cfg.MarkAtPkts)
 	case BufferInfinite:
 		return queue.NewInfinite(cfg.MarkAtPkts)
 	case BufferShared:
@@ -381,11 +393,11 @@ func (n *Network) StartFlow(src, dst packet.NodeID, bytes int64,
 	env := transport.Env{Sched: n.Sched, Pool: n.Pool}
 
 	sEnv := env
-	sEnv.Emit = srcHost.Send
+	sEnv.Emit = srcHost.SendFn()
 	snd := transport.NewSender(sEnv, tc, flowID, src, dst, bytes)
 
 	rEnv := env
-	rEnv.Emit = dstHost.Send
+	rEnv.Emit = dstHost.SendFn()
 	rcv := transport.NewReceiver(rEnv, tc, flowID, dst, bytes)
 
 	n.Collector.FlowStarted(flowID, class, bytes, queryID)
@@ -416,7 +428,9 @@ func (n *Network) StartFlow(src, dst packet.NodeID, bytes int64,
 	if class == metrics.ClassLong {
 		sh.longRx = append(sh.longRx, rcv)
 	}
-	snd.Start()
+	if n.fluid == nil || !n.fluid.registerFlow(snd, rcv) {
+		snd.Start()
+	}
 	return snd
 }
 

@@ -49,6 +49,15 @@ type Results struct {
 	LongGoodputs []float64
 	JainIndex    float64
 
+	// Hybrid/fluid mode (DESIGN §9): bytes delivered by the rate model
+	// and the fidelity-boundary crossing counts. All zero in packet mode.
+	FluidBytes      uint64
+	FluidDemotions  uint64
+	FluidPromotions uint64
+	// FluidFlows is the number of flows still under rate custody at the
+	// end of the run (unfinished long flows).
+	FluidFlows int
+
 	// Packet-pool accounting (DESIGN §9 memory model): every packet the
 	// transports borrow must be returned on a terminal path. PoolLive is
 	// borrowed − returned at the end of the run — packets still buffered
@@ -122,6 +131,16 @@ func (n *Network) results(end eventq.Time) *Results {
 	r.PoolReturned -= emitted
 	r.PoolLive = int(r.PoolBorrowed - r.PoolReturned)
 	r.PFCPauses = n.PFCPauses()
+	if n.fluid != nil {
+		r.FluidBytes = n.fluid.eng.DeliveredBytes
+		r.FluidDemotions = n.fluid.demotions
+		r.FluidPromotions = n.fluid.eng.Promotions
+		for _, c := range n.fluid.cands {
+			if c.state == candFluid {
+				r.FluidFlows++
+			}
+		}
+	}
 	if len(longRx) > 0 {
 		// Flow-ID order, so the goodput vector is identical for every
 		// shard count (shard-local append order is creation order, which

@@ -155,7 +155,7 @@ func (n *Network) installFlow(f *flowStart, tc transport.Config) {
 	ds := n.shards[n.part[f.dst]]
 
 	ds.sched.At(f.at, func() {
-		rcv := transport.NewReceiver(transport.Env{Sched: ds.sched, Pool: ds.pool, Emit: dstHost.Send},
+		rcv := transport.NewReceiver(transport.Env{Sched: ds.sched, Pool: ds.pool, Emit: dstHost.SendFn()},
 			tc, f.id, f.dst, f.bytes)
 		rcv.OnComplete = func() {
 			ds.coll.FlowDone(f.id)
@@ -171,9 +171,15 @@ func (n *Network) installFlow(f *flowStart, tc transport.Config) {
 		if f.class == metrics.ClassLong {
 			ds.longRx = append(ds.longRx, rcv)
 		}
+		if n.fluid != nil {
+			// Fluid modes run on one shard; the receiver event precedes
+			// the sender's at the same instant, so the hand-off below is
+			// always populated when the sender registers.
+			n.fluid.pendingRcv[f.id] = rcv
+		}
 	})
 	ss.sched.At(f.at, func() {
-		snd := transport.NewSender(transport.Env{Sched: ss.sched, Pool: ss.pool, Emit: srcHost.Send},
+		snd := transport.NewSender(transport.Env{Sched: ss.sched, Pool: ss.pool, Emit: srcHost.SendFn()},
 			tc, f.id, f.src, f.dst, f.bytes)
 		snd.OnComplete = func() { srcHost.RemoveSender(f.id) }
 		srcHost.AddSender(snd)
@@ -183,6 +189,13 @@ func (n *Network) installFlow(f *flowStart, tc transport.Config) {
 				T: ss.sched.Now(), Kind: trace.KindFlowStart, Node: f.src,
 				Flow: f.id, Seq: -1, Detail: fmt.Sprintf("%s %dB -> %d", f.class, f.bytes, f.dst),
 			})
+		}
+		if n.fluid != nil {
+			rcv := n.fluid.pendingRcv[f.id]
+			delete(n.fluid.pendingRcv, f.id)
+			if n.fluid.registerFlow(snd, rcv) {
+				return
+			}
 		}
 		snd.Start()
 	})

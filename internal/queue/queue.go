@@ -48,6 +48,34 @@ type Queue interface {
 	Bytes() int
 }
 
+// FluidShare is the occupancy a fluid-modeled traffic share contributes to
+// a port's queue (hybrid mode, DESIGN §9). The fluid engine updates it on
+// its tick; disciplines with finite capacity fold it into their admission
+// and Full checks, so packet traffic — and DIBS's detour-on-full decision —
+// sees the queue depth the modeled flows would really occupy. Len and Bytes
+// stay packet-only: conservation checks count real packets.
+//
+// A nil *FluidShare reads as zero occupancy, so packet-mode queues carry no
+// branch cost beyond one nil check.
+type FluidShare struct {
+	pkts int
+}
+
+// SetPkts sets the fluid occupancy in packet equivalents (nil-safe no-op).
+func (s *FluidShare) SetPkts(n int) {
+	if s != nil {
+		s.pkts = n
+	}
+}
+
+// Pkts returns the fluid occupancy in packet equivalents (nil reads 0).
+func (s *FluidShare) Pkts() int {
+	if s == nil {
+		return 0
+	}
+	return s.pkts
+}
+
 // fifo is a growable power-of-two ring buffer of packets shared by the
 // FIFO disciplines. The buffer never shrinks mid-run — capacity reached
 // during a burst is retained, so a queue oscillating around its high-water
@@ -102,21 +130,86 @@ func (f *fifo) grow() {
 type DropTail struct {
 	capacity int
 	markAt   int
+	fluid    *FluidShare
 	f        fifo
 }
 
 // NewDropTail returns a FIFO holding at most capacity packets, ECN-marking
 // at markAt (0 disables marking).
 func NewDropTail(capacity, markAt int) *DropTail {
+	return new(DropTail).init(capacity, markAt, nil)
+}
+
+func (q *DropTail) init(capacity, markAt int, arena *DropTailArena) *DropTail {
 	if capacity < 1 {
 		panic("queue: DropTail capacity must be >= 1")
 	}
-	return &DropTail{capacity: capacity, markAt: markAt}
+	*q = DropTail{capacity: capacity, markAt: markAt}
+	// Switch-scale buffers (~100 packets) get their ring up front; host
+	// NICs are configured orders of magnitude deeper and rarely fill, so
+	// presizing them would waste megabytes per host.
+	if capacity <= 1024 {
+		size := 16
+		for size < capacity {
+			size *= 2
+		}
+		if arena != nil {
+			q.f.buf = arena.ring(size)
+		} else {
+			q.f.buf = make([]*packet.Packet, size)
+		}
+	}
+	return q
 }
+
+// DropTailArena carves DropTail queues — the struct and its presized ring —
+// from shared blocks, for builders that construct one queue per port: a
+// K=8 fat-tree instantiates ~770 of them, and two allocations each made
+// queue construction one of the largest allocation sites of a whole
+// benchmark iteration. Queues carved here are ordinary DropTails; a queue
+// that outgrows its carved ring falls back to its own buffer (the slab
+// portion is abandoned, which at 64 slots per block is cheaper than ever
+// reallocating it). Not safe for concurrent use; network construction is
+// single-threaded.
+type DropTailArena struct {
+	spare []DropTail
+	slab  []*packet.Packet
+}
+
+// New carves one DropTail, equivalent to NewDropTail(capacity, markAt).
+func (a *DropTailArena) New(capacity, markAt int) *DropTail {
+	if len(a.spare) == 0 {
+		a.spare = make([]DropTail, 64)
+	}
+	q := &a.spare[0]
+	a.spare = a.spare[1:]
+	return q.init(capacity, markAt, a)
+}
+
+// ring carves a power-of-two ring of n slots from the shared slab.
+func (a *DropTailArena) ring(n int) []*packet.Packet {
+	if len(a.slab) < n {
+		block := 64 * 128
+		if block < n {
+			block = n
+		}
+		a.slab = make([]*packet.Packet, block)
+	}
+	r := a.slab[:n:n]
+	a.slab = a.slab[n:]
+	return r
+}
+
+// SetFluid folds a fluid occupancy share into the queue's capacity and
+// Full checks. Marking stays on the real packet length: the fluid model's
+// congestion contribution reaches packet senders through the port's
+// residual service rate, and the real queue that builds under it marks on
+// its own.
+func (q *DropTail) SetFluid(s *FluidShare) { q.fluid = s }
 
 // Enqueue implements Queue.
 func (q *DropTail) Enqueue(p *packet.Packet) Result {
-	if q.f.n >= q.capacity {
+	if q.f.n+q.fluid.Pkts() >= q.capacity {
 		return Result{}
 	}
 	var marked bool
@@ -135,7 +228,7 @@ func (q *DropTail) Dequeue() *packet.Packet { return q.f.pop() }
 func (q *DropTail) Len() int { return q.f.n }
 
 // Full implements Queue.
-func (q *DropTail) Full() bool { return q.f.n >= q.capacity }
+func (q *DropTail) Full() bool { return q.f.n+q.fluid.Pkts() >= q.capacity }
 
 // Bytes implements Queue.
 func (q *DropTail) Bytes() int { return q.f.bytes }
@@ -227,6 +320,7 @@ func (sp *SharedPool) admit(n int) bool {
 type SharedQueue struct {
 	pool   *SharedPool
 	markAt int
+	fluid  *FluidShare
 	f      fifo
 }
 
@@ -236,9 +330,14 @@ func NewSharedQueue(pool *SharedPool, markAt int) *SharedQueue {
 	return &SharedQueue{pool: pool, markAt: markAt}
 }
 
+// SetFluid folds a fluid occupancy share into the queue's admission and
+// Full checks (per-queue threshold only; the shared pool accounts real
+// packets).
+func (q *SharedQueue) SetFluid(s *FluidShare) { q.fluid = s }
+
 // Enqueue implements Queue.
 func (q *SharedQueue) Enqueue(p *packet.Packet) Result {
-	if !q.pool.admit(q.f.n) {
+	if !q.pool.admit(q.f.n + q.fluid.Pkts()) {
 		return Result{}
 	}
 	var marked bool
@@ -264,7 +363,7 @@ func (q *SharedQueue) Dequeue() *packet.Packet {
 func (q *SharedQueue) Len() int { return q.f.n }
 
 // Full implements Queue.
-func (q *SharedQueue) Full() bool { return !q.pool.admit(q.f.n) }
+func (q *SharedQueue) Full() bool { return !q.pool.admit(q.f.n + q.fluid.Pkts()) }
 
 // Bytes implements Queue.
 func (q *SharedQueue) Bytes() int { return q.f.bytes }

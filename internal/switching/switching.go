@@ -92,6 +92,21 @@ type OutPort struct {
 	peerPort int
 	busy     bool
 
+	// fluidDelay adds the fluid-modeled standing queue's waiting time to
+	// every delivery (hybrid mode, zero otherwise): a packet crossing a
+	// fluid-saturated bottleneck sits behind the modeled flows' standing
+	// queue exactly as it would behind their real packets. Because the
+	// delay is charged at delivery (after serialization) while the
+	// transmitter moves straight on to the next packet, a back-to-back
+	// burst of n packets arrives at the far end at t + standing + i/rate —
+	// byte-for-byte the FIFO schedule of a burst queued behind a standing
+	// queue. Packets serialize at the full link rate: in FIFO order, fluid
+	// bytes arriving after a real packet queue behind it, so present
+	// packet traffic is never slowed by the fluid flows' future arrivals;
+	// the fluid engine yields the capacity packets consume on its next
+	// tick (measured arrivals). Changes only on fluid-engine ticks.
+	fluidDelay eventq.Time
+
 	// jitter, when jitterMax > 0, adds a uniform random per-packet
 	// delivery delay in [0, jitterMax). Identical self-clocked flows
 	// otherwise phase-lock on the deterministic ECN threshold and share
@@ -144,9 +159,15 @@ type OutPort struct {
 	PausedTime  eventq.Time
 	pausedSince eventq.Time
 
-	// TxPackets and TxBytes count fully transmitted packets.
+	// TxPackets and TxBytes count fully transmitted packets. RxBytes
+	// counts bytes accepted into the queue — the port's offered packet
+	// load. The fluid layer measures packet demand from arrivals rather
+	// than service: a fold throttles the transmitter, so a service-based
+	// measure would under-report demand in exact proportion to the
+	// throttling and packet traffic could never reclaim bandwidth.
 	TxPackets uint64
 	TxBytes   uint64
+	RxBytes   uint64
 	// BusyTime accumulates serialization time, for utilization metrics.
 	BusyTime eventq.Time
 }
@@ -196,18 +217,27 @@ func (o *OutPort) SetRemote(emit func(at eventq.Time, pri int64, w packet.Wire))
 }
 
 // SerializationTime returns how long a packet of the given wire size
-// occupies the transmitter.
+// occupies the transmitter at the link rate.
 func (o *OutPort) SerializationTime(bytes int) eventq.Time {
 	return eventq.Time(int64(bytes) * 8 * int64(eventq.Second) / o.rateBps)
 }
 
-// RateBps returns the link rate.
+// RateBps returns the nominal link rate.
 func (o *OutPort) RateBps() int64 { return o.rateBps }
+
+// SetFluid folds the fluid model's standing-queue delay into the port:
+// every delivery waits it on top of propagation (see fluidDelay for why
+// this — not a residual serialization rate — is the FIFO-faithful fold).
+// Pass 0 to clear.
+func (o *OutPort) SetFluid(standing eventq.Time) {
+	o.fluidDelay = standing
+}
 
 // Enqueue offers p to the port's queue and starts the transmitter if idle.
 func (o *OutPort) Enqueue(p *packet.Packet) queue.Result {
 	r := o.Q.Enqueue(p)
 	if r.Accepted {
+		o.RxBytes += uint64(p.Size())
 		if o.OnEnqueue != nil {
 			o.OnEnqueue(p)
 		}
@@ -260,7 +290,7 @@ func (o *OutPort) onSerDone() {
 	o.busy = false
 	o.TxPackets++
 	o.TxBytes += uint64(p.Size())
-	at := o.sched.Now() + o.delay
+	at := o.sched.Now() + o.delay + o.fluidDelay
 	if o.jitterMax > 0 {
 		at += eventq.Time(o.jitter.Int63n(int64(o.jitterMax)))
 	}
@@ -315,7 +345,10 @@ type pktRing struct {
 
 func (r *pktRing) push(p *packet.Packet) {
 	if r.n == len(r.buf) {
-		grown := make([]*packet.Packet, max(4, 2*len(r.buf)))
+		// Start at 16: a port that carries any traffic at all holds a few
+		// packets in flight, so a smaller initial ring just schedules extra
+		// grow steps for every active port in the network.
+		grown := make([]*packet.Packet, max(16, 2*len(r.buf)))
 		for i := 0; i < r.n; i++ {
 			grown[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
 		}

@@ -10,6 +10,7 @@ package topology
 
 import (
 	"fmt"
+	"strconv"
 
 	"dibs/internal/eventq"
 	"dibs/internal/packet"
@@ -115,11 +116,31 @@ func newBuilder(name string) *builder {
 	return &builder{name: name}
 }
 
+// name2/name3/name4 build "prefix<i>[-<j>[-<k>]]" node names without fmt:
+// node naming was the last Sprintf on the Build hot path, and
+// strconv.Itoa's small-int fast path makes each name a single string
+// allocation instead of Sprintf's argument boxing plus formatting.
+func name2(prefix string, i int) string { return prefix + strconv.Itoa(i) }
+func name3(prefix string, i, j int) string {
+	return prefix + strconv.Itoa(i) + "-" + strconv.Itoa(j)
+}
+func name4(prefix string, i, j, k int) string {
+	return prefix + strconv.Itoa(i) + "-" + strconv.Itoa(j) + "-" + strconv.Itoa(k)
+}
+
 func (b *builder) addNode(kind NodeKind, name string, layer Layer, pod int) packet.NodeID {
 	id := packet.NodeID(len(b.nodes))
 	b.nodes = append(b.nodes, Node{ID: id, Kind: kind, Name: name, Layer: layer, Pod: pod})
 	b.ports = append(b.ports, nil)
 	return id
+}
+
+// reserve pre-allocates id's port slice for n links, replacing the
+// 1->2->4->... append walk a degree-n switch would otherwise pay.
+func (b *builder) reserve(id packet.NodeID, n int) {
+	if cap(b.ports[id]) < n {
+		b.ports[id] = make([]Port, 0, n)
+	}
 }
 
 // link connects a and b with a bidirectional link. Port indices are assigned
@@ -187,12 +208,13 @@ func (t *Topology) computeRoutes() {
 		base := hi * n
 		dist := t.dist[base : base+n]
 		// BFS from the destination host; dist counts links to dst.
-		queue = queue[:0]
-		queue = append(queue, dst)
+		// Pop via an index, not queue[1:]: re-slicing the head discards
+		// capacity, so every push past it would reallocate — per BFS, per
+		// destination host.
+		queue = append(queue[:0], dst)
 		dist[dst] = 0
-		for len(queue) > 0 {
-			cur := queue[0]
-			queue = queue[1:]
+		for qi := 0; qi < len(queue); qi++ {
+			cur := queue[qi]
 			d := dist[cur]
 			for _, p := range t.ports[cur] {
 				// Hosts do not forward transit traffic: only the
@@ -376,16 +398,19 @@ func FatTree(k int, spec LinkSpec, oversub int) *Topology {
 
 	core := make([]packet.NodeID, half*half)
 	for i := range core {
-		core[i] = b.addNode(Switch, fmt.Sprintf("core-%d", i), LayerCore, -1)
+		core[i] = b.addNode(Switch, name2("core-", i), LayerCore, -1)
+		b.reserve(core[i], k) // one link per pod
 	}
 	for pod := 0; pod < k; pod++ {
 		aggr := make([]packet.NodeID, half)
 		edge := make([]packet.NodeID, half)
 		for a := 0; a < half; a++ {
-			aggr[a] = b.addNode(Switch, fmt.Sprintf("aggr-%d-%d", pod, a), LayerAggr, pod)
+			aggr[a] = b.addNode(Switch, name3("aggr-", pod, a), LayerAggr, pod)
+			b.reserve(aggr[a], k) // half up to core, half down to edge
 		}
 		for e := 0; e < half; e++ {
-			edge[e] = b.addNode(Switch, fmt.Sprintf("edge-%d-%d", pod, e), LayerEdge, pod)
+			edge[e] = b.addNode(Switch, name3("edge-", pod, e), LayerEdge, pod)
+			b.reserve(edge[e], k) // half up to aggr, half down to hosts
 		}
 		// Aggr a connects to core switches [a*half, (a+1)*half).
 		for a := 0; a < half; a++ {
@@ -402,7 +427,7 @@ func FatTree(k int, spec LinkSpec, oversub int) *Topology {
 		// Hosts.
 		for e := 0; e < half; e++ {
 			for h := 0; h < half; h++ {
-				hid := b.addNode(Host, fmt.Sprintf("host-%d-%d-%d", pod, e, h), LayerNone, pod)
+				hid := b.addNode(Host, name4("host-", pod, e, h), LayerNone, pod)
 				b.link(edge[e], hid, spec.RateBps, spec.Delay)
 			}
 		}
@@ -420,12 +445,12 @@ func ClickTestbed(spec LinkSpec) *Topology {
 		b.addNode(Switch, "aggr-1", LayerAggr, 0),
 	}
 	for e := 0; e < 3; e++ {
-		edge := b.addNode(Switch, fmt.Sprintf("edge-%d", e), LayerEdge, 0)
+		edge := b.addNode(Switch, name2("edge-", e), LayerEdge, 0)
 		for _, a := range aggr {
 			b.link(edge, a, spec.RateBps, spec.Delay)
 		}
 		for h := 0; h < 2; h++ {
-			hid := b.addNode(Host, fmt.Sprintf("host-%d-%d", e, h), LayerNone, 0)
+			hid := b.addNode(Host, name3("host-", e, h), LayerNone, 0)
 			b.link(edge, hid, spec.RateBps, spec.Delay)
 		}
 	}
@@ -442,12 +467,12 @@ func Linear(n, hostsPer int, spec LinkSpec) *Topology {
 	b := newBuilder(fmt.Sprintf("linear-%d", n))
 	sw := make([]packet.NodeID, n)
 	for i := 0; i < n; i++ {
-		sw[i] = b.addNode(Switch, fmt.Sprintf("sw-%d", i), LayerNone, -1)
+		sw[i] = b.addNode(Switch, name2("sw-", i), LayerNone, -1)
 		if i > 0 {
 			b.link(sw[i-1], sw[i], spec.RateBps, spec.Delay)
 		}
 		for h := 0; h < hostsPer; h++ {
-			hid := b.addNode(Host, fmt.Sprintf("host-%d-%d", i, h), LayerNone, -1)
+			hid := b.addNode(Host, name3("host-", i, h), LayerNone, -1)
 			b.link(sw[i], hid, spec.RateBps, spec.Delay)
 		}
 	}
@@ -496,7 +521,7 @@ func jellyfishOnce(nSwitches, switchDegree, hostsPer int, spec LinkSpec, seed in
 	b := newBuilder(fmt.Sprintf("jellyfish-%d-%d", nSwitches, switchDegree))
 	sw := make([]packet.NodeID, nSwitches)
 	for i := range sw {
-		sw[i] = b.addNode(Switch, fmt.Sprintf("sw-%d", i), LayerNone, -1)
+		sw[i] = b.addNode(Switch, name2("sw-", i), LayerNone, -1)
 	}
 
 	// Random matching over port stubs, retrying to avoid self-loops and
@@ -572,7 +597,7 @@ func jellyfishOnce(nSwitches, switchDegree, hostsPer int, spec LinkSpec, seed in
 	}
 	for i := 0; i < nSwitches; i++ {
 		for h := 0; h < hostsPer; h++ {
-			hid := b.addNode(Host, fmt.Sprintf("host-%d-%d", i, h), LayerNone, -1)
+			hid := b.addNode(Host, name3("host-", i, h), LayerNone, -1)
 			b.link(sw[i], hid, spec.RateBps, spec.Delay)
 		}
 	}
@@ -591,7 +616,7 @@ func HyperX(sx, sy, hostsPer int, spec LinkSpec) *Topology {
 	for x := 0; x < sx; x++ {
 		sw[x] = make([]packet.NodeID, sy)
 		for y := 0; y < sy; y++ {
-			sw[x][y] = b.addNode(Switch, fmt.Sprintf("sw-%d-%d", x, y), LayerNone, -1)
+			sw[x][y] = b.addNode(Switch, name3("sw-", x, y), LayerNone, -1)
 		}
 	}
 	for x := 0; x < sx; x++ {
@@ -608,7 +633,7 @@ func HyperX(sx, sy, hostsPer int, spec LinkSpec) *Topology {
 	for x := 0; x < sx; x++ {
 		for y := 0; y < sy; y++ {
 			for h := 0; h < hostsPer; h++ {
-				hid := b.addNode(Host, fmt.Sprintf("host-%d-%d-%d", x, y, h), LayerNone, -1)
+				hid := b.addNode(Host, name4("host-", x, y, h), LayerNone, -1)
 				b.link(sw[x][y], hid, spec.RateBps, spec.Delay)
 			}
 		}

@@ -30,7 +30,18 @@ func (rs *rangeSet) add(lo, hi int64) {
 		}
 		j++
 	}
-	rs.ranges = append(rs.ranges[:i], append([]byteRange{{lo, hi}}, rs.ranges[j:]...)...)
+	// Splice [i,j) down to the single merged range in place: the steady
+	// state — an in-order segment extending an existing range (i < j) —
+	// must not allocate, and the pure insert (i == j) allocates only when
+	// the slice needs to grow.
+	if i == j {
+		rs.ranges = append(rs.ranges, byteRange{})
+		copy(rs.ranges[i+1:], rs.ranges[i:])
+		rs.ranges[i] = byteRange{lo, hi}
+		return
+	}
+	rs.ranges[i] = byteRange{lo, hi}
+	rs.ranges = append(rs.ranges[:i+1], rs.ranges[j:]...)
 }
 
 // contiguousFrom returns the highest offset h such that [from, h) is fully

@@ -176,6 +176,35 @@ type Sender struct {
 	windowEnd   int64
 	cwndReduced bool // at most one reduction per window
 
+	// Fluid hand-off state (hybrid mode, DESIGN §9). A demotion request
+	// quiesces the sender first: emission stops at sndStop, the in-flight
+	// window drains through normal ack/RTO processing, and only when
+	// sndUna reaches sndStop — a clean byte boundary with nothing on the
+	// wire — does custody pass to the rate model. While fluid, emission
+	// and ack processing are suppressed; FluidAcked advances the
+	// cumulative-ack state instead.
+	fluid     bool
+	quiesce   bool
+	sndStop   int64
+	onDrained func(remaining int64)
+
+	// Stability tracking for demotion: at each window rollover the
+	// current cwnd and the goodput since the previous rollover are
+	// compared to their previous values. Staying within the stability
+	// band on either axis counts a stable window; loss recovery (RTO or
+	// fast retransmit) resets the count. Two regimes make the two axes
+	// necessary: at a marked bottleneck DCTCP's alpha-proportional cwnd
+	// wiggle stays inside the band (cwnd-stable), while a flow serialized
+	// by an unmarked NIC grows cwnd every RTT against an inflating queue
+	// even though its delivery rate is pinned at line rate (rate-stable).
+	stableWins int
+	stabEnd    int64
+	stabCwnd   float64
+	stabRate   float64     // goodput over the previous rollover interval
+	stabAck    int64       // cumulative ack at the previous rollover
+	stabTime   eventq.Time // clock at the previous rollover
+	stabLoss   bool        // loss recovery happened in the current window
+
 	started bool
 	done    bool
 	// OnComplete fires once, when every byte has been cumulatively acked.
@@ -256,13 +285,18 @@ func (s *Sender) cwndBytes() int64 {
 	return int64(s.cwnd * float64(s.cfg.MSS))
 }
 
-// trySend emits segments while the window allows.
+// trySend emits segments while the window allows. A quiescing sender
+// stops at the hand-off boundary; a fluid sender emits nothing.
 func (s *Sender) trySend() {
-	if s.done {
+	if s.done || s.fluid {
 		return
 	}
-	for s.sndNxt < s.Total && s.inflight() < s.cwndBytes() {
-		payload := s.Total - s.sndNxt
+	limit := s.Total
+	if s.quiesce {
+		limit = s.sndStop
+	}
+	for s.sndNxt < limit && s.inflight() < s.cwndBytes() {
+		payload := limit - s.sndNxt
 		if payload > int64(s.cfg.MSS) {
 			payload = int64(s.cfg.MSS)
 		}
@@ -319,10 +353,12 @@ func (s *Sender) cancelRTO() {
 // onRTO handles a retransmission timeout: go-back-N from sndUna with an
 // exponentially backed-off timer.
 func (s *Sender) onRTO() {
-	if s.done {
+	if s.done || s.fluid {
 		return
 	}
 	s.Timeouts++
+	s.stabLoss = true
+	s.stableWins = 0
 	s.ssthresh = maxf(s.cwnd/2, 2)
 	s.cwnd = 1
 	s.dupacks = 0
@@ -337,7 +373,7 @@ func (s *Sender) onRTO() {
 
 // OnAck processes a cumulative acknowledgment.
 func (s *Sender) OnAck(p *packet.Packet) {
-	if s.done || p.Kind != packet.Ack {
+	if s.done || s.fluid || p.Kind != packet.Ack {
 		return
 	}
 	ack := p.Seq
@@ -368,8 +404,13 @@ func (s *Sender) OnAck(p *packet.Packet) {
 		} else {
 			s.grow(newly)
 		}
+		s.trackStability(ack)
 		if s.sndUna >= s.Total {
 			s.complete()
+			return
+		}
+		if s.quiesce && s.sndUna >= s.sndStop {
+			s.finishHandoff()
 			return
 		}
 		s.armRTO(true)
@@ -394,6 +435,8 @@ func (s *Sender) segLenAt(seq int64) int {
 
 func (s *Sender) fastRetransmit() {
 	s.FastRecovers++
+	s.stabLoss = true
+	s.stableWins = 0
 	s.ssthresh = maxf(s.cwnd/2, 2)
 	s.cwnd = s.ssthresh + 3
 	s.inRecovery = true
@@ -472,6 +515,157 @@ func (s *Sender) complete() {
 	}
 }
 
+// stabilityBand is the relative cwnd (or goodput) movement tolerated
+// between window rollovers while still counting the window as stable. Wide
+// enough to absorb DCTCP's steady-state alpha wiggle, narrow enough that
+// slow start (cwnd and rate doubling) and congestion collapse both read as
+// unstable.
+const stabilityBand = 0.25
+
+// trackStability advances the stable-window counter at window rollovers.
+// A window is stable when no loss recovery ran and either cwnd or the
+// goodput since the previous rollover stayed inside the band (see the
+// field block for why both axes are needed).
+func (s *Sender) trackStability(ack int64) {
+	if ack < s.stabEnd {
+		return
+	}
+	now := s.env.Sched.Now()
+	var rate float64
+	if dt := now - s.stabTime; dt > 0 {
+		rate = float64(ack-s.stabAck) / dt.Seconds()
+	}
+	cwndOK := s.stabCwnd > 0 && absf(s.cwnd-s.stabCwnd) <= stabilityBand*s.stabCwnd
+	rateOK := s.stabRate > 0 && rate > 0 && absf(rate-s.stabRate) <= stabilityBand*s.stabRate
+	if s.stabLoss {
+		s.stableWins = 0
+	} else if cwndOK || rateOK {
+		s.stableWins++
+	} else {
+		s.stableWins = 0
+	}
+	s.stabLoss = false
+	s.stabCwnd = s.cwnd
+	s.stabRate = rate
+	s.stabAck = ack
+	s.stabTime = now
+	s.stabEnd = s.sndNxt
+}
+
+// StableWindows reports how many consecutive window rollovers kept cwnd
+// inside the stability band with no loss recovery — the hybrid layer's
+// demotion signal.
+func (s *Sender) StableWindows() int { return s.stableWins }
+
+// Remaining returns the bytes not yet cumulatively acknowledged.
+func (s *Sender) Remaining() int64 { return s.Total - s.sndUna }
+
+// InFluid reports whether the sender's bytes are under fluid custody.
+func (s *Sender) InFluid() bool { return s.fluid }
+
+// HandoffPending reports whether a demotion is quiescing the window.
+func (s *Sender) HandoffPending() bool { return s.quiesce }
+
+// StartFluidHandoff begins demoting the flow to fluid custody: emission
+// stops at the current sndNxt, the in-flight window drains through normal
+// ack (and, on loss, RTO) processing, and when the pipe is empty —
+// sndUna == sndNxt, a clean byte boundary — onDrained fires once with the
+// remaining byte count for the caller to admit into the rate model. If the
+// flow completes before draining, onDrained never fires. Returns false if
+// the sender cannot hand off (done, not started, or already fluid).
+func (s *Sender) StartFluidHandoff(onDrained func(remaining int64)) bool {
+	if s.done || !s.started || s.fluid || s.quiesce {
+		return false
+	}
+	s.quiesce = true
+	s.sndStop = s.sndNxt
+	s.onDrained = onDrained
+	if s.sndUna >= s.sndStop {
+		// Nothing in flight (an idle boundary); hand off immediately.
+		s.finishHandoff()
+	}
+	return true
+}
+
+// finishHandoff completes the quiesce: custody moves to the rate model.
+func (s *Sender) finishHandoff() {
+	s.quiesce = false
+	s.fluid = true
+	s.cancelRTO()
+	s.dupacks = 0
+	s.inRecovery = false
+	cb := s.onDrained
+	s.onDrained = nil
+	if cb != nil {
+		cb(s.Total - s.sndUna)
+	}
+}
+
+// StartFluid starts the flow directly under fluid custody, never emitting
+// a packet (pure fluid mode). FluidAcked drives it to completion.
+func (s *Sender) StartFluid() {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.StartedAt = s.env.Sched.Now()
+	s.fluid = true
+}
+
+// FluidAcked credits n fluid-delivered bytes to the cumulative-ack state.
+func (s *Sender) FluidAcked(n int64) {
+	if s.done || !s.fluid || n <= 0 {
+		return
+	}
+	s.sndUna += n
+	if s.sndUna > s.Total {
+		s.sndUna = s.Total
+	}
+	s.sndNxt = s.sndUna
+	if s.maxSent < s.sndUna {
+		s.maxSent = s.sndUna
+	}
+	if s.sndUna >= s.Total {
+		s.complete()
+	}
+}
+
+// ResumeFromFluid promotes the flow back to packet fidelity: transmission
+// restarts at the cumulative-ack point in slow start from the initial
+// window, with ssthresh set to the cwnd retained from before demotion (the
+// demoted flow's bandwidth-limited steady state, so slow start ends near
+// its fair share). Restarting the window itself — TCP's after-idle rule —
+// matters for fidelity: the flow has no ack clock at this instant, and
+// releasing the whole retained window would inject a line-rate burst that
+// the steadily-paced packet-mode flow never produces. Stability and DCTCP
+// window accounting restart from here.
+func (s *Sender) ResumeFromFluid() {
+	if s.done || !s.fluid {
+		return
+	}
+	s.fluid = false
+	s.ssthresh = maxf(s.cwnd, 2)
+	s.cwnd = s.cfg.InitCwnd
+	s.ackedBytes, s.markedBytes = 0, 0
+	s.windowEnd = s.sndNxt
+	s.cwndReduced = false
+	s.stableWins = 0
+	s.stabLoss = false
+	s.stabCwnd = s.cwnd
+	s.stabRate = 0
+	s.stabAck = s.sndUna
+	s.stabTime = s.env.Sched.Now()
+	s.stabEnd = s.sndNxt
+	s.trySend()
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
 // Receiver is the receiving endpoint of a flow.
 type Receiver struct {
 	env  Env
@@ -505,6 +699,10 @@ type Receiver struct {
 	DupBytes        int64
 	FirstArrival    eventq.Time
 	LastArrival     eventq.Time
+	// FluidBytes counts bytes delivered by the fluid model rather than by
+	// packets (conservation: RcvNxt-covered bytes = packet bytes + fluid
+	// bytes for flows that never retransmit across the boundary).
+	FluidBytes int64
 }
 
 // NewReceiver creates a receiver expecting total bytes on flow.
@@ -581,6 +779,37 @@ func (r *Receiver) OnData(p *packet.Packet) {
 	}
 
 	if complete {
+		r.done = true
+		if r.OnComplete != nil {
+			r.OnComplete()
+		}
+	}
+}
+
+// FluidDeliver credits n contiguous fluid-delivered bytes starting at
+// rcvNxt. The fluid hand-off only begins at a fully acknowledged byte
+// boundary with nothing in flight, so the credit always extends the
+// contiguous prefix; no ACK is emitted — the sender's cumulative state
+// advances through Sender.FluidAcked in the same engine tick.
+func (r *Receiver) FluidDeliver(n int64) {
+	if r.done || n <= 0 {
+		return
+	}
+	end := r.rcvNxt + n
+	if end > r.Total {
+		end = r.Total
+	}
+	if end <= r.rcvNxt {
+		return
+	}
+	if r.FirstArrival == 0 && r.PacketsReceived == 0 {
+		r.FirstArrival = r.env.Sched.Now()
+	}
+	r.LastArrival = r.env.Sched.Now()
+	r.FluidBytes += end - r.rcvNxt
+	r.ranges.add(r.rcvNxt, end)
+	r.rcvNxt = r.ranges.contiguousFrom(r.rcvNxt)
+	if !r.done && r.rcvNxt >= r.Total {
 		r.done = true
 		if r.OnComplete != nil {
 			r.OnComplete()

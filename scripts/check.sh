@@ -29,11 +29,13 @@ go run ./cmd/dibslint -tests ./...
 
 # The shard-confinement proof must hold with zero suppressions: the PDES
 # engine and its netsim sharding layer may not carry any //dibslint:ignore
-# without a reason, and must lint clean on their own.
-step "dibslint shard confinement (zero suppressions)"
-go run ./cmd/dibslint ./internal/pdes ./internal/netsim
+# without a reason, and must lint clean on their own. The fluid solver joins
+# the same regime: float rates and coarse ticks are exactly what the
+# float-eq and vtime rules police, so it may not suppress them.
+step "dibslint shard confinement + fluid solver (zero suppressions)"
+go run ./cmd/dibslint ./internal/pdes ./internal/netsim ./internal/fluid
 bare_ignores=$(grep -rn '//dibslint:ignore[[:space:]]*$\|//dibslint:ignore[[:space:]]\+[a-z-]\+[[:space:]]*$' \
-    internal/pdes internal/netsim --include='*.go' || true)
+    internal/pdes internal/netsim internal/fluid --include='*.go' || true)
 if [ -n "$bare_ignores" ]; then
     echo "reason-less //dibslint:ignore directives in shard packages:" >&2
     echo "$bare_ignores" >&2
@@ -49,6 +51,13 @@ if [ "${SHORT:-0}" = "1" ]; then
 else
     go test ./...
 fi
+
+# The hybrid mode's two acceptance properties run by name even in SHORT
+# mode, so a future -short guard on them can never silently retire the
+# gate: byte-identical hybrid runs, and fluid-path FCT percentiles within
+# tolerance of the all-packet reference.
+step "hybrid determinism + FCT agreement"
+go test -count=1 -run 'TestHybridDeterminism|TestHybridEnginesAgree|TestHybridFCTAgreement' ./internal/netsim
 
 if [ "${RACE:-1}" = "1" ]; then
     step "go test -race (short)"
